@@ -1,0 +1,134 @@
+// Command raalbench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	raalbench -list
+//	raalbench -exp table4
+//	raalbench -exp all -bench imdb -queries 250 -epochs 30
+//	raalbench -exp table7 -quick
+//
+// Experiments that train models share one prepared lab per invocation, so
+// running -exp all reuses the collected corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"raal/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		bench   = flag.String("bench", "imdb", "benchmark: imdb or tpch")
+		scale   = flag.Float64("scale", 0, "synthetic data scale factor (0 = default)")
+		queries = flag.Int("queries", 0, "generated queries for the corpus (0 = default)")
+		states  = flag.Int("states", 0, "resource states per plan (0 = default)")
+		epochs  = flag.Int("epochs", 0, "training epochs (0 = default)")
+		seed    = flag.Int64("seed", 1, "global seed")
+		quick   = flag.Bool("quick", false, "small settings for a fast smoke run")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV data (figures only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	opt.Bench = *bench
+	if *scale > 0 {
+		opt.Scale = *scale
+	}
+	if *queries > 0 {
+		opt.NumQueries = *queries
+	}
+	if *states > 0 {
+		opt.ResStates = *states
+	}
+	if *epochs > 0 {
+		opt.Epochs = *epochs
+	}
+	opt.Seed = *seed
+
+	runners := experiments.Registry()
+	if *exp != "all" {
+		r, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	var lab *experiments.Lab
+	needsLab := false
+	for _, r := range runners {
+		if r.NeedsLab {
+			needsLab = true
+		}
+	}
+	if needsLab {
+		fmt.Printf("preparing lab: bench=%s scale=%.2f queries=%d states=%d ...\n",
+			opt.Bench, opt.Scale, opt.NumQueries, opt.ResStates)
+		start := time.Now()
+		var err error
+		lab, err = experiments.NewLab(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("lab ready in %v: %d train / %d test samples\n\n",
+			time.Since(start).Round(time.Millisecond), len(lab.TrainSamples), len(lab.TestSamples))
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		var rep experiments.Report
+		var err error
+		if r.NeedsLab {
+			rep, err = r.RunLab(lab)
+		} else {
+			rep, err = r.Run(opt)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s) — %v ===\n", r.Name, r.Description, time.Since(start).Round(time.Millisecond))
+		rep.Print(os.Stdout)
+		fmt.Println()
+
+		if *csvDir != "" {
+			if c, ok := rep.(experiments.CSVer); ok {
+				if err := writeCSV(*csvDir, r.Name, c); err != nil {
+					fmt.Fprintf(os.Stderr, "csv %s: %v\n", r.Name, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, name string, c experiments.CSVer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name + ".csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.CSV(f)
+}

@@ -1,0 +1,93 @@
+// Command raaltrain collects a training corpus from a synthetic benchmark
+// and trains a RAAL cost model, optionally saving it to disk.
+//
+// Usage:
+//
+//	raaltrain -bench imdb -queries 300 -epochs 30 -out model.raal
+//	raaltrain -variant NE-LSTM -queries 100 -epochs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"raal"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "imdb", "benchmark: imdb or tpch")
+		scale   = flag.Float64("scale", 0.1, "synthetic data scale factor")
+		queries = flag.Int("queries", 250, "generated queries")
+		states  = flag.Int("states", 3, "resource states per plan")
+		epochs  = flag.Int("epochs", 30, "training epochs")
+		lr      = flag.Float64("lr", 3e-3, "learning rate")
+		variant = flag.String("variant", "RAAL", "RAAL, NE-LSTM, NA-LSTM, or RAAC")
+		seed    = flag.Int64("seed", 1, "global seed")
+		out     = flag.String("out", "", "path to save the trained model (optional)")
+	)
+	flag.Parse()
+
+	var v raal.Variant
+	switch *variant {
+	case "RAAL":
+		v = raal.RAAL()
+	case "NE-LSTM":
+		v = raal.NELSTM()
+	case "NA-LSTM":
+		v = raal.NALSTM()
+	case "RAAC":
+		v = raal.RAAC()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(1)
+	}
+
+	sys, err := raal.Open(raal.Benchmark(*bench), *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("opened %s: %d rows across %d tables\n", *bench, sys.TotalRows(), len(sys.Tables()))
+
+	start := time.Now()
+	ds, err := sys.Collect(raal.CollectOptions{
+		NumQueries: *queries, ResStatesPerPlan: *states, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collected %d records (%d plans, %d queries skipped) in %v\n",
+		len(ds.Records), len(ds.Plans), ds.Skipped, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	cm, report, err := raal.TrainCostModel(ds, v, raal.TrainOptions{
+		Epochs: *epochs, LR: *lr, Seed: *seed,
+		Progress: func(epoch int, loss float64) {
+			fmt.Printf("  epoch %2d: loss %.4f\n", epoch+1, loss)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %s on %d samples in %v\n", v.Name, report.TrainSamples, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("held-out (%d samples): %s\n", report.TestSamples, report.Held)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := cm.Save(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

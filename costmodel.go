@@ -1,0 +1,206 @@
+package raal
+
+import (
+	"fmt"
+	"io"
+
+	"raal/internal/core"
+	"raal/internal/encode"
+	"raal/internal/workload"
+)
+
+// CostModel is a trained end-to-end cost estimator: a fitted feature
+// encoder plus a deep network of some Variant.
+type CostModel struct {
+	enc   *encode.Encoder
+	model *core.Model
+}
+
+// TrainOptions controls cost-model training.
+type TrainOptions struct {
+	// Epochs (default 30), Batch (default 16), LR (default 3e-3).
+	Epochs int
+	Batch  int
+	LR     float64
+	// TrainFrac is the train split fraction (default 0.8); the remainder
+	// becomes the held-out set reported by TrainCostModel.
+	TrainFrac float64
+	Seed      int64
+	// Progress, if set, receives per-epoch training loss.
+	Progress func(epoch int, loss float64)
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	TrainSamples, TestSamples int
+	LossCurve                 []float64
+	// Held-out metrics (RE and COR/R² on seconds, MSE on the log-cost
+	// scale).
+	Held Metrics
+}
+
+// TrainCostModel fits an encoder on ds and trains a cost model of the
+// given variant, returning the model and a held-out evaluation.
+func TrainCostModel(ds *Dataset, v Variant, opt TrainOptions) (*CostModel, *TrainReport, error) {
+	if ds == nil || len(ds.Records) == 0 {
+		return nil, nil, fmt.Errorf("raal: empty dataset")
+	}
+	if opt.TrainFrac == 0 {
+		opt.TrainFrac = 0.8
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+
+	enc, err := ds.FitEncoder(encode.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	samples := ds.Encode(enc)
+	train, test := workload.Split(samples, opt.TrainFrac, opt.Seed)
+	if len(train) == 0 {
+		return nil, nil, fmt.Errorf("raal: train split is empty")
+	}
+
+	semDim := enc.NodeDim() - enc.MaxNodes() - 2
+	mc := core.DefaultConfig(semDim, enc.MaxNodes())
+	mc.Seed = opt.Seed
+	tc := core.DefaultTrainConfig()
+	if opt.Epochs > 0 {
+		tc.Epochs = opt.Epochs
+	}
+	if opt.Batch > 0 {
+		tc.Batch = opt.Batch
+	}
+	if opt.LR > 0 {
+		tc.LR = opt.LR
+	}
+	tc.Seed = opt.Seed
+	tc.Progress = opt.Progress
+
+	model, tr, err := core.Train(train, v, mc, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &TrainReport{
+		TrainSamples: len(train),
+		TestSamples:  len(test),
+		LossCurve:    tr.LossCurve,
+	}
+	if len(test) > 0 {
+		if report.Held, err = model.Evaluate(test); err != nil {
+			return nil, nil, err
+		}
+	}
+	return &CostModel{enc: enc, model: model}, report, nil
+}
+
+// Variant returns the architecture this model was trained with.
+func (cm *CostModel) Variant() Variant { return cm.model.Var }
+
+// Estimate predicts the execution cost (seconds) of plan p under res.
+func (cm *CostModel) Estimate(p *Plan, res Resources) float64 {
+	s := cm.enc.EncodePlan(p, res)
+	return cm.model.Predict([]*Sample{s})[0]
+}
+
+// EstimateBatch predicts costs for many (plan, resources) pairs at once.
+func (cm *CostModel) EstimateBatch(plans []*Plan, res Resources) []float64 {
+	samples := make([]*Sample, len(plans))
+	for i, p := range plans {
+		samples[i] = cm.enc.EncodePlan(p, res)
+	}
+	return cm.model.Predict(samples)
+}
+
+// SelectPlan returns the candidate with the lowest predicted cost and
+// that prediction. A nil plan is returned only for an empty candidate set.
+func (cm *CostModel) SelectPlan(plans []*Plan, res Resources) (*Plan, float64) {
+	if len(plans) == 0 {
+		return nil, 0
+	}
+	preds := cm.EstimateBatch(plans, res)
+	best := 0
+	for i := range preds {
+		if preds[i] < preds[best] {
+			best = i
+		}
+	}
+	return plans[best], preds[best]
+}
+
+// RecommendResources searches a grid of candidate allocations for the one
+// with the cheapest predicted cost for plan p — the inverse of the
+// paper's main problem (Sec. II cites resource-matching systems [31,32];
+// with a resource-aware cost model the search is a batched inference).
+// It returns the winning allocation and its predicted cost.
+func (cm *CostModel) RecommendResources(p *Plan, grid []Resources) (Resources, float64) {
+	if len(grid) == 0 {
+		return Resources{}, 0
+	}
+	samples := make([]*Sample, len(grid))
+	for i, res := range grid {
+		samples[i] = cm.enc.EncodePlan(p, res)
+	}
+	preds := cm.model.Predict(samples)
+	best := 0
+	for i := range preds {
+		if preds[i] < preds[best] {
+			best = i
+		}
+	}
+	return grid[best], preds[best]
+}
+
+// DefaultResourceGrid enumerates the standard allocation lattice
+// (executors × cores × memory on the 4-node cluster) used for resource
+// recommendation.
+func DefaultResourceGrid() []Resources {
+	var grid []Resources
+	base := DefaultResources()
+	for _, ex := range []int{1, 2, 4, 8} {
+		for _, cores := range []int{1, 2, 4} {
+			for _, memGB := range []float64{1, 2, 4, 8, 12} {
+				r := base
+				r.Executors = ex
+				r.ExecCores = cores
+				r.ExecMemMB = memGB * 1024
+				grid = append(grid, r)
+			}
+		}
+	}
+	return grid
+}
+
+// EvaluateOn computes the paper's metrics over a slice of encoded,
+// labeled samples.
+func (cm *CostModel) EvaluateOn(samples []*Sample) (Metrics, error) {
+	return cm.model.Evaluate(samples)
+}
+
+// EncodeDataset encodes a dataset with this model's fitted encoder (for
+// evaluation on fresh corpora).
+func (cm *CostModel) EncodeDataset(ds *Dataset) []*Sample {
+	return ds.Encode(cm.enc)
+}
+
+// Save writes the encoder and network weights to w.
+func (cm *CostModel) Save(w io.Writer) error {
+	if err := cm.enc.Save(w); err != nil {
+		return err
+	}
+	return cm.model.Save(w)
+}
+
+// LoadCostModel reads a model previously written by Save.
+func LoadCostModel(r io.Reader) (*CostModel, error) {
+	enc, err := encode.LoadEncoder(r)
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	return &CostModel{enc: enc, model: model}, nil
+}

@@ -1,0 +1,55 @@
+package raal_test
+
+import (
+	"fmt"
+	"log"
+
+	"raal"
+)
+
+// ExampleOpen shows the planning surface: one SQL query, several physical
+// candidates, Catalyst-default first.
+func ExampleOpen() {
+	sys, err := raal.Open(raal.IMDB, 0.02, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc
+		WHERE t.id = mc.movie_id AND mc.company_id < 100`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidates:", len(plans))
+	fmt.Println("default:", plans[0].Sig)
+	// Output:
+	// candidates: 6
+	// default: order=t,mc;algos=BHJ;push=true
+}
+
+// ExampleSystem_Execute runs a plan for the true answer.
+func ExampleSystem_Execute() {
+	sys, err := raal.Open(raal.IMDB, 0.02, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.DefaultPlan(`SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id <= 3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := sys.Execute(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", rel.N)
+	fmt.Println("columns:", rel.ColNames())
+	// Output:
+	// rows: 1
+	// columns: [agg0]
+}
+
+// ExampleDefaultResources shows the paper's baseline allocation.
+func ExampleDefaultResources() {
+	fmt.Println(raal.DefaultResources())
+	// Output:
+	// 4n×4c 2ex×2c 4096MB net=120 disk=180
+}

@@ -1,0 +1,3 @@
+module raal
+
+go 1.22

@@ -1,0 +1,611 @@
+// Package autodiff implements tape-based reverse-mode automatic
+// differentiation over dense matrices.
+//
+// A Tape records every operation in creation order; because an operation can
+// only consume values that already exist, the tape order is a topological
+// order of the computation graph, and Backward simply walks it in reverse.
+// All neural-network layers in internal/nn are built from the primitives
+// here, so a single numerically-checked gradient core backs the entire deep
+// cost model.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"raal/internal/tensor"
+)
+
+// Var is a node in the computation graph: a matrix value plus (once
+// Backward has run) the gradient of the loss with respect to it.
+type Var struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+
+	needsGrad bool
+	backward  func()
+}
+
+// NeedsGrad reports whether gradients are tracked for this variable.
+func (v *Var) NeedsGrad() bool { return v.needsGrad }
+
+// grad returns the gradient accumulator, allocating it on first use.
+func (v *Var) grad() *tensor.Matrix {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Rows, v.Value.Cols)
+	}
+	return v.Grad
+}
+
+// Tape records operations for reverse-mode differentiation. The zero value
+// is ready to use. A Tape is not safe for concurrent use; run one tape per
+// goroutine.
+type Tape struct {
+	nodes []*Var
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset drops all recorded operations so the tape can be reused.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes (useful in tests).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Param registers m as a trainable leaf: its gradient is accumulated into
+// m's Var across Backward calls until ZeroGrad.
+func (t *Tape) Param(m *tensor.Matrix) *Var {
+	v := &Var{Value: m, needsGrad: true}
+	return v
+}
+
+// Const wraps m as a constant input: no gradient is tracked.
+func (t *Tape) Const(m *tensor.Matrix) *Var {
+	return &Var{Value: m}
+}
+
+func (t *Tape) record(v *Var, inputs ...*Var) *Var {
+	for _, in := range inputs {
+		if in.needsGrad {
+			v.needsGrad = true
+			break
+		}
+	}
+	if !v.needsGrad {
+		v.backward = nil
+	}
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Backward seeds root's gradient with 1 (root must be 1×1) and propagates
+// gradients through every recorded operation in reverse order.
+func (t *Tape) Backward(root *Var) {
+	if root.Value.Rows != 1 || root.Value.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
+	}
+	root.grad().Data[0] = 1
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.backward != nil && n.Grad != nil {
+			n.backward()
+		}
+	}
+}
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Var) *Var {
+	out := &Var{Value: tensor.MatMul(a.Value, b.Value)}
+	out.backward = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.grad(), tensor.MatMulTransB(out.Grad, b.Value))
+		}
+		if b.needsGrad {
+			tensor.AddInPlace(b.grad(), tensor.MatMulTransA(a.Value, out.Grad))
+		}
+	}
+	return t.record(out, a, b)
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Var) *Var {
+	out := &Var{Value: tensor.Add(a.Value, b.Value)}
+	out.backward = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.grad(), out.Grad)
+		}
+		if b.needsGrad {
+			tensor.AddInPlace(b.grad(), out.Grad)
+		}
+	}
+	return t.record(out, a, b)
+}
+
+// Sub returns a−b (same shape).
+func (t *Tape) Sub(a, b *Var) *Var {
+	out := &Var{Value: tensor.Sub(a.Value, b.Value)}
+	out.backward = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.grad(), out.Grad)
+		}
+		if b.needsGrad {
+			tensor.AxpyInPlace(b.grad(), -1, out.Grad)
+		}
+	}
+	return t.record(out, a, b)
+}
+
+// Mul returns the elementwise product a∘b.
+func (t *Tape) Mul(a, b *Var) *Var {
+	out := &Var{Value: tensor.Mul(a.Value, b.Value)}
+	out.backward = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.grad(), tensor.Mul(out.Grad, b.Value))
+		}
+		if b.needsGrad {
+			tensor.AddInPlace(b.grad(), tensor.Mul(out.Grad, a.Value))
+		}
+	}
+	return t.record(out, a, b)
+}
+
+// Scale returns s·a.
+func (t *Tape) Scale(a *Var, s float64) *Var {
+	out := &Var{Value: tensor.Scale(a.Value, s)}
+	out.backward = func() {
+		if a.needsGrad {
+			tensor.AxpyInPlace(a.grad(), s, out.Grad)
+		}
+	}
+	return t.record(out, a)
+}
+
+// AddRow broadcasts the 1×n row vector r across every row of m.
+func (t *Tape) AddRow(m, r *Var) *Var {
+	out := &Var{Value: tensor.AddRow(m.Value, r.Value)}
+	out.backward = func() {
+		if m.needsGrad {
+			tensor.AddInPlace(m.grad(), out.Grad)
+		}
+		if r.needsGrad {
+			g := r.grad()
+			for i := 0; i < out.Grad.Rows; i++ {
+				row := out.Grad.Row(i)
+				for j, v := range row {
+					g.Data[j] += v
+				}
+			}
+		}
+	}
+	return t.record(out, m, r)
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (t *Tape) Sigmoid(a *Var) *Var {
+	val := tensor.Apply(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	out := &Var{Value: val}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			for i, s := range val.Data {
+				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// Tanh applies the hyperbolic tangent elementwise.
+func (t *Tape) Tanh(a *Var) *Var {
+	val := tensor.Apply(a.Value, math.Tanh)
+	out := &Var{Value: val}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			for i, y := range val.Data {
+				g.Data[i] += out.Grad.Data[i] * (1 - y*y)
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// ReLU applies max(0,x) elementwise.
+func (t *Tape) ReLU(a *Var) *Var {
+	val := tensor.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	out := &Var{Value: val}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			for i, x := range a.Value.Data {
+				if x > 0 {
+					g.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// LeakyReLU applies max(alpha·x, x) elementwise.
+func (t *Tape) LeakyReLU(a *Var, alpha float64) *Var {
+	val := tensor.Apply(a.Value, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return alpha * x
+	})
+	out := &Var{Value: val}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			for i, x := range a.Value.Data {
+				if x > 0 {
+					g.Data[i] += out.Grad.Data[i]
+				} else {
+					g.Data[i] += alpha * out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// Transpose returns aᵀ.
+func (t *Tape) Transpose(a *Var) *Var {
+	out := &Var{Value: a.Value.Transpose()}
+	out.backward = func() {
+		if a.needsGrad {
+			tensor.AddInPlace(a.grad(), out.Grad.Transpose())
+		}
+	}
+	return t.record(out, a)
+}
+
+// SoftmaxRows applies a row-wise softmax. mask may be nil; otherwise it must
+// have one entry per column, and columns whose mask entry is false receive
+// zero probability in every row (their logits are treated as −∞). Rows whose
+// mask is entirely false become all-zero rows.
+func (t *Tape) SoftmaxRows(a *Var, mask []bool) *Var {
+	if mask != nil && len(mask) != a.Value.Cols {
+		panic(fmt.Sprintf("autodiff: softmax mask length %d != cols %d", len(mask), a.Value.Cols))
+	}
+	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		in := a.Value.Row(i)
+		outRow := val.Row(i)
+		maxv := math.Inf(-1)
+		for j, x := range in {
+			if (mask == nil || mask[j]) && x > maxv {
+				maxv = x
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			continue // fully masked row stays zero
+		}
+		var sum float64
+		for j, x := range in {
+			if mask == nil || mask[j] {
+				e := math.Exp(x - maxv)
+				outRow[j] = e
+				sum += e
+			}
+		}
+		for j := range outRow {
+			outRow[j] /= sum
+		}
+	}
+	out := &Var{Value: val}
+	out.backward = func() {
+		if !a.needsGrad {
+			return
+		}
+		g := a.grad()
+		for i := 0; i < val.Rows; i++ {
+			y := val.Row(i)
+			dy := out.Grad.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * dy[j]
+			}
+			grow := g.Row(i)
+			for j := range y {
+				grow[j] += y[j] * (dy[j] - dot)
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// ConcatCols concatenates variables horizontally.
+func (t *Tape) ConcatCols(vs ...*Var) *Var {
+	mats := make([]*tensor.Matrix, len(vs))
+	for i, v := range vs {
+		mats[i] = v.Value
+	}
+	out := &Var{Value: tensor.ConcatCols(mats...)}
+	out.backward = func() {
+		off := 0
+		for _, v := range vs {
+			w := v.Value.Cols
+			if v.needsGrad {
+				g := v.grad()
+				for i := 0; i < out.Grad.Rows; i++ {
+					src := out.Grad.Row(i)[off : off+w]
+					dst := g.Row(i)
+					for j, x := range src {
+						dst[j] += x
+					}
+				}
+			}
+			off += w
+		}
+	}
+	return t.record(out, vs...)
+}
+
+// ConcatRows concatenates variables vertically.
+func (t *Tape) ConcatRows(vs ...*Var) *Var {
+	mats := make([]*tensor.Matrix, len(vs))
+	for i, v := range vs {
+		mats[i] = v.Value
+	}
+	out := &Var{Value: tensor.ConcatRows(mats...)}
+	out.backward = func() {
+		off := 0
+		for _, v := range vs {
+			n := v.Value.Rows * v.Value.Cols
+			if v.needsGrad {
+				g := v.grad()
+				src := out.Grad.Data[off : off+n]
+				for j, x := range src {
+					g.Data[j] += x
+				}
+			}
+			off += n
+		}
+	}
+	return t.record(out, vs...)
+}
+
+// RowAt extracts row i of a as a 1×cols variable.
+func (t *Tape) RowAt(a *Var, i int) *Var {
+	if i < 0 || i >= a.Value.Rows {
+		panic(fmt.Sprintf("autodiff: RowAt(%d) out of %d rows", i, a.Value.Rows))
+	}
+	out := &Var{Value: tensor.RowVector(a.Value.Row(i))}
+	out.backward = func() {
+		if a.needsGrad {
+			dst := a.grad().Row(i)
+			for j, x := range out.Grad.Data {
+				dst[j] += x
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// SoftmaxRowsMask2D applies a row-wise softmax with an independent column
+// mask per row: entry (i,j) receives zero probability when mask[i][j] is
+// false. Rows whose mask is entirely false become all-zero rows. This is
+// the primitive behind node-aware attention, where node i attends only
+// over its own children.
+func (t *Tape) SoftmaxRowsMask2D(a *Var, mask [][]bool) *Var {
+	if len(mask) != a.Value.Rows {
+		panic(fmt.Sprintf("autodiff: 2D softmax mask rows %d != %d", len(mask), a.Value.Rows))
+	}
+	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		if len(mask[i]) != a.Value.Cols {
+			panic(fmt.Sprintf("autodiff: 2D softmax mask row %d has %d cols, want %d", i, len(mask[i]), a.Value.Cols))
+		}
+		in := a.Value.Row(i)
+		outRow := val.Row(i)
+		maxv := math.Inf(-1)
+		for j, x := range in {
+			if mask[i][j] && x > maxv {
+				maxv = x
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			continue
+		}
+		var sum float64
+		for j, x := range in {
+			if mask[i][j] {
+				e := math.Exp(x - maxv)
+				outRow[j] = e
+				sum += e
+			}
+		}
+		for j := range outRow {
+			outRow[j] /= sum
+		}
+	}
+	out := &Var{Value: val}
+	out.backward = func() {
+		if !a.needsGrad {
+			return
+		}
+		g := a.grad()
+		for i := 0; i < val.Rows; i++ {
+			y := val.Row(i)
+			dy := out.Grad.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * dy[j]
+			}
+			grow := g.Row(i)
+			for j := range y {
+				grow[j] += y[j] * (dy[j] - dot)
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// SliceCols extracts columns [lo,hi) of a as a copy.
+func (t *Tape) SliceCols(a *Var, lo, hi int) *Var {
+	if lo < 0 || hi > a.Value.Cols || lo > hi {
+		panic(fmt.Sprintf("autodiff: SliceCols [%d,%d) out of %d cols", lo, hi, a.Value.Cols))
+	}
+	w := hi - lo
+	val := tensor.New(a.Value.Rows, w)
+	for i := 0; i < a.Value.Rows; i++ {
+		copy(val.Row(i), a.Value.Row(i)[lo:hi])
+	}
+	out := &Var{Value: val}
+	out.backward = func() {
+		if !a.needsGrad {
+			return
+		}
+		g := a.grad()
+		for i := 0; i < val.Rows; i++ {
+			dst := g.Row(i)[lo:hi]
+			src := out.Grad.Row(i)
+			for j, x := range src {
+				dst[j] += x
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// MeanRowsMasked averages the rows of a whose mask entry is true, returning
+// a 1×cols variable. If no row is selected the result is all zeros.
+func (t *Tape) MeanRowsMasked(a *Var, mask []bool) *Var {
+	if len(mask) != a.Value.Rows {
+		panic(fmt.Sprintf("autodiff: mean mask length %d != rows %d", len(mask), a.Value.Rows))
+	}
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	val := tensor.New(1, a.Value.Cols)
+	if n > 0 {
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			row := a.Value.Row(i)
+			for j, x := range row {
+				val.Data[j] += x / float64(n)
+			}
+		}
+	}
+	out := &Var{Value: val}
+	out.backward = func() {
+		if !a.needsGrad || n == 0 {
+			return
+		}
+		g := a.grad()
+		for i, m := range mask {
+			if !m {
+				continue
+			}
+			dst := g.Row(i)
+			for j, x := range out.Grad.Data {
+				dst[j] += x / float64(n)
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// SumAll reduces a to a 1×1 variable holding the sum of its elements.
+func (t *Tape) SumAll(a *Var) *Var {
+	out := &Var{Value: tensor.FromSlice(1, 1, []float64{a.Value.Sum()})}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			d := out.Grad.Data[0]
+			for i := range g.Data {
+				g.Data[i] += d
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// MeanAll reduces a to a 1×1 variable holding the mean of its elements.
+func (t *Tape) MeanAll(a *Var) *Var {
+	n := float64(len(a.Value.Data))
+	out := &Var{Value: tensor.FromSlice(1, 1, []float64{a.Value.Mean()})}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			d := out.Grad.Data[0] / n
+			for i := range g.Data {
+				g.Data[i] += d
+			}
+		}
+	}
+	return t.record(out, a)
+}
+
+// MSE returns the mean squared error between pred and the constant target,
+// as a 1×1 variable.
+func (t *Tape) MSE(pred *Var, target *tensor.Matrix) *Var {
+	if !pred.Value.SameShape(target) {
+		panic(fmt.Sprintf("autodiff: MSE shape mismatch %dx%d vs %dx%d",
+			pred.Value.Rows, pred.Value.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(target.Data))
+	var loss float64
+	for i, p := range pred.Value.Data {
+		d := p - target.Data[i]
+		loss += d * d
+	}
+	loss /= n
+	out := &Var{Value: tensor.FromSlice(1, 1, []float64{loss})}
+	out.backward = func() {
+		if pred.needsGrad {
+			g := pred.grad()
+			d := out.Grad.Data[0]
+			for i, p := range pred.Value.Data {
+				g.Data[i] += d * 2 * (p - target.Data[i]) / n
+			}
+		}
+	}
+	return t.record(out, pred)
+}
+
+// Dropout zeroes each element with probability p at training time and
+// rescales survivors by 1/(1−p). keep must be a pre-sampled boolean mask of
+// the same size as a (one entry per element); this keeps the op
+// deterministic and testable. Passing a nil mask makes Dropout the identity.
+func (t *Tape) Dropout(a *Var, p float64, keep []bool) *Var {
+	if keep == nil {
+		return a
+	}
+	if len(keep) != len(a.Value.Data) {
+		panic(fmt.Sprintf("autodiff: dropout mask length %d != %d", len(keep), len(a.Value.Data)))
+	}
+	scale := 1 / (1 - p)
+	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	for i, x := range a.Value.Data {
+		if keep[i] {
+			val.Data[i] = x * scale
+		}
+	}
+	out := &Var{Value: val}
+	out.backward = func() {
+		if a.needsGrad {
+			g := a.grad()
+			for i := range g.Data {
+				if keep[i] {
+					g.Data[i] += out.Grad.Data[i] * scale
+				}
+			}
+		}
+	}
+	return t.record(out, a)
+}

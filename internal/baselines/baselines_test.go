@@ -1,0 +1,211 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raal/internal/cardest"
+	"raal/internal/datagen"
+	"raal/internal/encode"
+	"raal/internal/engine"
+	"raal/internal/logical"
+	"raal/internal/physical"
+	"raal/internal/sparksim"
+	"raal/internal/sql"
+	"raal/internal/tensor"
+)
+
+const (
+	tSem   = 4
+	tNodes = 6
+)
+
+// synthSample fabricates an encoded plan with a chain structure whose cost
+// depends on node content.
+func synthSample(rng *rand.Rand) *encode.Sample {
+	dim := tSem + tNodes + 2
+	s := &encode.Sample{
+		Nodes:    tensor.New(tNodes, dim),
+		Mask:     make([]bool, tNodes),
+		Children: make([][]bool, tNodes),
+		Resource: make([]float64, sparksim.NumFeatures),
+		Stats:    make([]float64, encode.NumStats),
+	}
+	for i := range s.Children {
+		s.Children[i] = make([]bool, tNodes)
+	}
+	n := 3 + rng.Intn(tNodes-2)
+	var sig float64
+	for i := 0; i < n; i++ {
+		s.Mask[i] = true
+		row := s.Nodes.Row(i)
+		for d := 0; d < tSem; d++ {
+			row[d] = rng.Float64()
+			sig += row[d]
+		}
+		if i > 0 {
+			s.Children[i][i-1] = true
+		}
+		row[tSem+tNodes] = rng.Float64()
+	}
+	s.CostSec = 1 + 2*sig
+	return s
+}
+
+func synthDataset(n int, seed int64) []*encode.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*encode.Sample, n)
+	for i := range out {
+		out[i] = synthSample(rng)
+	}
+	return out
+}
+
+func TestTLSTMTrainReducesLoss(t *testing.T) {
+	samples := synthDataset(150, 1)
+	m := NewTLSTM(TLSTMConfig{SemDim: tSem, MaxNodes: tNodes, Hidden: 16, Seed: 1})
+	res, err := m.Fit(samples, 8, 16, 5e-3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.LossCurve[0], res.LossCurve[len(res.LossCurve)-1]
+	if last >= first*0.8 {
+		t.Fatalf("TLSTM loss barely moved: %v → %v", first, last)
+	}
+}
+
+func TestTLSTMLearnsSignal(t *testing.T) {
+	train := synthDataset(300, 2)
+	test := synthDataset(80, 3)
+	m := NewTLSTM(TLSTMConfig{SemDim: tSem, MaxNodes: tNodes, Hidden: 16, Seed: 1})
+	if _, err := m.Fit(train, 12, 16, 5e-3, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.COR < 0.5 {
+		t.Fatalf("TLSTM failed to learn: %v", r)
+	}
+}
+
+func TestTLSTMPredictNonNegative(t *testing.T) {
+	samples := synthDataset(40, 4)
+	m := NewTLSTM(TLSTMConfig{SemDim: tSem, MaxNodes: tNodes, Hidden: 8, Seed: 2})
+	if _, err := m.Fit(samples, 2, 8, 5e-3, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Predict(samples) {
+		if p < 0 || math.IsNaN(p) {
+			t.Fatalf("bad prediction %v", p)
+		}
+	}
+}
+
+func TestTLSTMErrors(t *testing.T) {
+	m := NewTLSTM(TLSTMConfig{SemDim: tSem, MaxNodes: tNodes, Hidden: 8, Seed: 1})
+	if _, err := m.Fit(nil, 2, 8, 1e-3, 1); err == nil {
+		t.Fatal("empty samples should error")
+	}
+	if _, err := m.Fit(synthDataset(5, 1), 0, 8, 1e-3, 1); err == nil {
+		t.Fatal("zero epochs should error")
+	}
+	if _, err := m.Evaluate(nil); err == nil {
+		t.Fatal("empty eval should error")
+	}
+}
+
+// realPlans builds executed plans over the synthetic IMDB for GPSJ tests.
+func realPlans(t *testing.T, query string) []*physical.Plan {
+	t.Helper()
+	db := datagen.IMDB(0.05, 1)
+	est, err := cardest.New(db, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := logical.NewBinder(db).Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := physical.NewPlanner(est).Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(db)
+	for _, p := range plans {
+		if _, err := eng.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return plans
+}
+
+func TestGPSJPositiveAndDeterministic(t *testing.T) {
+	plans := realPlans(t, `SELECT COUNT(*) FROM title t, movie_companies mc
+		WHERE t.id = mc.movie_id AND mc.company_id < 100`)
+	g := NewGPSJ(sparksim.DefaultConfig())
+	res := sparksim.DefaultResources()
+	for _, p := range plans {
+		a := g.Estimate(p, res)
+		b := g.Estimate(p, res)
+		if a <= 0 || a != b {
+			t.Fatalf("GPSJ estimate invalid: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestGPSJMoreCoresCheaper(t *testing.T) {
+	plans := realPlans(t, `SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 500`)
+	g := NewGPSJ(sparksim.DefaultConfig())
+	small := sparksim.DefaultResources()
+	small.Executors = 1
+	big := sparksim.DefaultResources()
+	big.Executors = 8
+	if g.Estimate(plans[0], big) >= g.Estimate(plans[0], small) {
+		t.Fatal("GPSJ should scale with cores")
+	}
+}
+
+func TestGPSJIgnoresMemory(t *testing.T) {
+	// The hand-crafted model has no memory term — precisely its blind
+	// spot in the paper's analysis.
+	plans := realPlans(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	g := NewGPSJ(sparksim.DefaultConfig())
+	lo := sparksim.DefaultResources()
+	lo.ExecMemMB = 1024
+	hi := sparksim.DefaultResources()
+	hi.ExecMemMB = 12288
+	if g.Estimate(plans[0], lo) != g.Estimate(plans[0], hi) {
+		t.Fatal("GPSJ should be memory-blind")
+	}
+}
+
+func TestGPSJUsesEstimatesNotActuals(t *testing.T) {
+	plans := realPlans(t, `SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id AND mk.keyword_id < 10`)
+	g := NewGPSJ(sparksim.DefaultConfig())
+	res := sparksim.DefaultResources()
+	before := g.Estimate(plans[0], res)
+	// Corrupt the actual cardinalities: GPSJ must not care.
+	for _, n := range plans[0].Nodes {
+		n.ActRows *= 1000
+	}
+	after := g.Estimate(plans[0], res)
+	if before != after {
+		t.Fatal("GPSJ should only read planner estimates")
+	}
+}
+
+func TestGPSJEstimateAll(t *testing.T) {
+	plans := realPlans(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	g := NewGPSJ(sparksim.DefaultConfig())
+	costs := g.EstimateAll(plans, sparksim.DefaultResources())
+	if len(costs) != len(plans) {
+		t.Fatalf("EstimateAll length %d", len(costs))
+	}
+}

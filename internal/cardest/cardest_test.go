@@ -1,0 +1,227 @@
+package cardest
+
+import (
+	"math"
+	"testing"
+
+	"raal/internal/catalog"
+	"raal/internal/datagen"
+	"raal/internal/logical"
+	"raal/internal/sql"
+)
+
+func newEstimator(t *testing.T) (*Estimator, *catalog.Database) {
+	t.Helper()
+	db := datagen.IMDB(0.1, 1)
+	e, err := New(db, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, db
+}
+
+func col(q, n string) sql.ColumnRef { return sql.ColumnRef{Qualifier: q, Name: n} }
+
+func TestRangeSelectivityTracksTruth(t *testing.T) {
+	e, db := newEstimator(t)
+	tab, _ := db.Table("title")
+	years := tab.IntCol("production_year")
+
+	pred := &sql.Comparison{Left: col("t", "production_year"), Op: sql.OpLt, Lit: sql.IntLit(2000)}
+	est := e.Selectivity("title", pred)
+	truth := 0
+	for _, y := range years {
+		if y < 2000 {
+			truth++
+		}
+	}
+	truthSel := float64(truth) / float64(len(years))
+	if math.Abs(est-truthSel) > 0.1 {
+		t.Fatalf("range selectivity est %v truth %v", est, truthSel)
+	}
+}
+
+func TestEqualitySelectivityHotKeyUsesMCV(t *testing.T) {
+	// keyword_id is zipf-skewed: the hottest key's selectivity must come
+	// from the MCV list and match the truth, far above 1/NDV.
+	e, db := newEstimator(t)
+	mk, _ := db.Table("movie_keyword")
+	pred := &sql.Comparison{Left: col("mk", "keyword_id"), Op: sql.OpEq, Lit: sql.IntLit(1)}
+	est := e.Selectivity("movie_keyword", pred)
+	truth := 0
+	for _, v := range mk.IntCol("keyword_id") {
+		if v == 1 {
+			truth++
+		}
+	}
+	truthSel := float64(truth) / float64(mk.NumRows)
+	if math.Abs(est-truthSel) > 1e-9 {
+		t.Fatalf("hot-key selectivity est %v, truth %v", est, truthSel)
+	}
+	if est < 3/e.ColumnNDV("movie_keyword", "keyword_id") {
+		t.Fatalf("MCV should dominate 1/NDV for the hot key: %v", est)
+	}
+}
+
+func TestEqualitySelectivityRareKey(t *testing.T) {
+	// A key outside the MCV list falls back to uniformity over the rest.
+	e, _ := newEstimator(t)
+	pred := &sql.Comparison{Left: col("t", "id"), Op: sql.OpEq, Lit: sql.IntLit(5)}
+	est := e.Selectivity("title", pred)
+	// title.id is unique: every value holds exactly one row.
+	rows := e.TableRows("title")
+	if math.Abs(est-1/rows) > 1e-9 {
+		t.Fatalf("unique-key selectivity %v, want %v", est, 1/rows)
+	}
+}
+
+func TestEqualityOutOfRangeIsZero(t *testing.T) {
+	e, _ := newEstimator(t)
+	pred := &sql.Comparison{Left: col("t", "kind_id"), Op: sql.OpEq, Lit: sql.IntLit(99999)}
+	if est := e.Selectivity("title", pred); est != 0 {
+		t.Fatalf("out-of-range equality selectivity %v, want 0", est)
+	}
+}
+
+func TestBetweenSelectivity(t *testing.T) {
+	e, db := newEstimator(t)
+	tab, _ := db.Table("title")
+	years := tab.IntCol("production_year")
+	pred := &sql.Between{Col: col("t", "production_year"), Lo: 1990, Hi: 2005}
+	est := e.Selectivity("title", pred)
+	truth := 0
+	for _, y := range years {
+		if y >= 1990 && y <= 2005 {
+			truth++
+		}
+	}
+	if math.Abs(est-float64(truth)/float64(len(years))) > 0.12 {
+		t.Fatalf("between est %v truth %v", est, float64(truth)/float64(len(years)))
+	}
+}
+
+func TestStringEqualityUsesCommonValues(t *testing.T) {
+	e, db := newEstimator(t)
+	tab, _ := db.Table("company_name")
+	codes := tab.StrCol("country_code")
+	// Find the most common code.
+	freq := map[string]int{}
+	for _, c := range codes {
+		freq[c]++
+	}
+	best, bestN := "", 0
+	for c, n := range freq {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	pred := &sql.Comparison{Left: col("cn", "country_code"), Op: sql.OpEq, Lit: sql.StrLit(best)}
+	est := e.Selectivity("company_name", pred)
+	truth := float64(bestN) / float64(len(codes))
+	if math.Abs(est-truth) > 1e-9 {
+		t.Fatalf("common-value selectivity est %v truth %v", est, truth)
+	}
+}
+
+func TestNullCheckSelectivity(t *testing.T) {
+	e, _ := newEstimator(t)
+	if s := e.Selectivity("title", &sql.NullCheck{Col: col("t", "id"), Not: true}); s != 1 {
+		t.Fatalf("IS NOT NULL selectivity %v", s)
+	}
+	if s := e.Selectivity("title", &sql.NullCheck{Col: col("t", "id")}); s != 0 {
+		t.Fatalf("IS NULL selectivity %v", s)
+	}
+}
+
+func TestLikeHeuristics(t *testing.T) {
+	e, _ := newEstimator(t)
+	prefix := e.Selectivity("company_name", &sql.Like{Col: col("cn", "name"), Pattern: "company%"})
+	contains := e.Selectivity("company_name", &sql.Like{Col: col("cn", "name"), Pattern: "%pan%"})
+	if prefix >= contains {
+		t.Fatalf("prefix %v should be more selective than contains %v", prefix, contains)
+	}
+}
+
+func TestInSumsEqualities(t *testing.T) {
+	e, _ := newEstimator(t)
+	var sum float64
+	for _, v := range []int64{1, 2, 3} {
+		sum += e.Selectivity("movie_keyword", &sql.Comparison{
+			Left: col("mk", "keyword_id"), Op: sql.OpEq, Lit: sql.IntLit(v)})
+	}
+	three := e.Selectivity("movie_keyword", &sql.In{Col: col("mk", "keyword_id"),
+		Values: []sql.Literal{sql.IntLit(1), sql.IntLit(2), sql.IntLit(3)}})
+	if math.Abs(three-sum) > 1e-9 {
+		t.Fatalf("IN(3 values) = %v, want sum of equalities %v", three, sum)
+	}
+}
+
+func TestFilterIndependence(t *testing.T) {
+	e, _ := newEstimator(t)
+	p1 := &sql.Comparison{Left: col("t", "kind_id"), Op: sql.OpLt, Lit: sql.IntLit(4)}
+	p2 := &sql.Comparison{Left: col("t", "production_year"), Op: sql.OpGt, Lit: sql.IntLit(2000)}
+	s1 := e.Selectivity("title", p1)
+	s2 := e.Selectivity("title", p2)
+	both := e.FilterSelectivity("title", []sql.Predicate{p1, p2})
+	if math.Abs(both-s1*s2) > 1e-12 {
+		t.Fatalf("independence: %v != %v·%v", both, s1, s2)
+	}
+}
+
+func TestJoinContainment(t *testing.T) {
+	e, db := newEstimator(t)
+	title, _ := db.Table("title")
+	mk, _ := db.Table("movie_keyword")
+	l := logical.BoundCol{Alias: "t", Table: "title", Name: "id"}
+	r := logical.BoundCol{Alias: "mk", Table: "movie_keyword", Name: "movie_id"}
+	est := e.JoinRows(float64(title.NumRows), float64(mk.NumRows), l, r)
+
+	// Truth: every mk row joins exactly one title (FK), so |join| = |mk|.
+	truth := float64(mk.NumRows)
+	if est < truth*0.3 || est > truth*3 {
+		t.Fatalf("join estimate %v too far from truth %v", est, truth)
+	}
+}
+
+func TestGroupRowsCappedByNDV(t *testing.T) {
+	e, _ := newEstimator(t)
+	kc := []logical.BoundCol{{Alias: "t", Table: "title", Name: "kind_id"}}
+	if g := e.GroupRows(1e6, kc); g != e.ColumnNDV("title", "kind_id") {
+		t.Fatalf("groups %v should equal NDV", g)
+	}
+	if g := e.GroupRows(3, kc); g != 3 {
+		t.Fatalf("groups %v should be capped by input rows", g)
+	}
+	if g := e.GroupRows(100, nil); g != 1 {
+		t.Fatalf("global aggregate groups = %v", g)
+	}
+	two := []logical.BoundCol{
+		{Alias: "t", Table: "title", Name: "kind_id"},
+		{Alias: "t", Table: "title", Name: "production_year"},
+	}
+	if g := e.GroupRows(1e9, two); g != e.ColumnNDV("title", "kind_id")*e.ColumnNDV("title", "production_year") {
+		t.Fatalf("two-column groups %v should multiply NDVs", g)
+	}
+}
+
+func TestScanRows(t *testing.T) {
+	e, db := newEstimator(t)
+	mk, _ := db.Table("movie_keyword")
+	rows := e.ScanRows("movie_keyword", nil)
+	if rows != float64(mk.NumRows) {
+		t.Fatalf("unfiltered scan %v != %d", rows, mk.NumRows)
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	e, _ := newEstimator(t)
+	if _, err := e.TableStats("ghost"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+	if e.TableRows("ghost") != 0 {
+		t.Fatal("unknown table rows should be 0")
+	}
+	if e.ColumnNDV("ghost", "x") != 1 {
+		t.Fatal("unknown NDV should be 1")
+	}
+}

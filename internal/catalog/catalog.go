@@ -1,0 +1,152 @@
+// Package catalog defines schemas, in-memory columnar tables, and the
+// statistics (row counts, distinct values, equi-depth histograms) that feed
+// both the cardinality estimator and the learned cost models' "other
+// features" input.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Type is a column's value type.
+type Type int
+
+// Supported column types.
+const (
+	Int64 Type = iota
+	String
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema describes a table's shape.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Col returns the named column description, or ok=false.
+func (s *Schema) Col(name string) (Column, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// Table is an in-memory columnar table. Exactly one of Ints[name] or
+// Strs[name] is populated for each schema column, according to its type.
+type Table struct {
+	Schema  *Schema
+	NumRows int
+	Ints    map[string][]int64
+	Strs    map[string][]string
+}
+
+// NewTable returns an empty table for schema with column storage allocated.
+func NewTable(schema *Schema, rows int) *Table {
+	t := &Table{
+		Schema:  schema,
+		NumRows: rows,
+		Ints:    map[string][]int64{},
+		Strs:    map[string][]string{},
+	}
+	for _, c := range schema.Columns {
+		switch c.Type {
+		case Int64:
+			t.Ints[c.Name] = make([]int64, rows)
+		case String:
+			t.Strs[c.Name] = make([]string, rows)
+		}
+	}
+	return t
+}
+
+// IntCol returns the named int64 column; it panics if absent, which
+// indicates a planner/binder bug rather than a user error.
+func (t *Table) IntCol(name string) []int64 {
+	col, ok := t.Ints[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: table %s has no int column %q", t.Schema.Name, name))
+	}
+	return col
+}
+
+// StrCol returns the named string column; it panics if absent.
+func (t *Table) StrCol(name string) []string {
+	col, ok := t.Strs[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: table %s has no string column %q", t.Schema.Name, name))
+	}
+	return col
+}
+
+// Validate checks that storage matches the schema and row count.
+func (t *Table) Validate() error {
+	for _, c := range t.Schema.Columns {
+		switch c.Type {
+		case Int64:
+			if len(t.Ints[c.Name]) != t.NumRows {
+				return fmt.Errorf("catalog: %s.%s has %d values, want %d",
+					t.Schema.Name, c.Name, len(t.Ints[c.Name]), t.NumRows)
+			}
+		case String:
+			if len(t.Strs[c.Name]) != t.NumRows {
+				return fmt.Errorf("catalog: %s.%s has %d values, want %d",
+					t.Schema.Name, c.Name, len(t.Strs[c.Name]), t.NumRows)
+			}
+		}
+	}
+	return nil
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	Tables map[string]*Table
+}
+
+// Table returns the named table or an error.
+func (d *Database) Table(name string) (*Table, error) {
+	t, ok := d.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: database %s has no table %q", d.Name, name)
+	}
+	return t, nil
+}
+
+// TableNames returns the table names in sorted order.
+func (d *Database) TableNames() []string {
+	names := make([]string, 0, len(d.Tables))
+	for n := range d.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalRows returns the sum of all table row counts.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += t.NumRows
+	}
+	return n
+}

@@ -1,0 +1,279 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return &Schema{
+		Name: "t",
+		Columns: []Column{
+			{Name: "id", Type: Int64},
+			{Name: "name", Type: String},
+		},
+	}
+}
+
+func TestNewTableAllocation(t *testing.T) {
+	tab := NewTable(testSchema(), 5)
+	if len(tab.IntCol("id")) != 5 || len(tab.StrCol("name")) != 5 {
+		t.Fatal("columns not allocated to row count")
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableMissingColumnPanics(t *testing.T) {
+	tab := NewTable(testSchema(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.IntCol("nope")
+}
+
+func TestValidateCatchesShortColumn(t *testing.T) {
+	tab := NewTable(testSchema(), 3)
+	tab.Ints["id"] = tab.Ints["id"][:2]
+	if err := tab.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDatabaseLookup(t *testing.T) {
+	db := &Database{Name: "d", Tables: map[string]*Table{"t": NewTable(testSchema(), 2)}}
+	if _, err := db.Table("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("missing"); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+	if got := db.TableNames(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("TableNames = %v", got)
+	}
+	if db.TotalRows() != 2 {
+		t.Fatalf("TotalRows = %d", db.TotalRows())
+	}
+}
+
+func TestSchemaCol(t *testing.T) {
+	s := testSchema()
+	if c, ok := s.Col("name"); !ok || c.Type != String {
+		t.Fatal("Col lookup failed")
+	}
+	if _, ok := s.Col("ghost"); ok {
+		t.Fatal("Col found nonexistent column")
+	}
+}
+
+func intTable(vals []int64) *Table {
+	s := &Schema{Name: "t", Columns: []Column{{Name: "v", Type: Int64}}}
+	tab := NewTable(s, len(vals))
+	copy(tab.Ints["v"], vals)
+	return tab
+}
+
+func TestIntStatsBasics(t *testing.T) {
+	tab := intTable([]int64{5, 1, 3, 3, 9, 7})
+	ts, err := ComputeStats(tab, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ts.Columns["v"]
+	if cs.Min != 1 || cs.Max != 9 {
+		t.Fatalf("min/max = %d/%d", cs.Min, cs.Max)
+	}
+	if cs.NDV != 5 {
+		t.Fatalf("NDV = %d, want 5", cs.NDV)
+	}
+	total := 0
+	for _, b := range cs.Hist {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("histogram counts sum to %d, want 6", total)
+	}
+}
+
+func TestHistogramUpperBoundsSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(50))
+		}
+		ts, err := ComputeStats(intTable(vals), 8, 4)
+		if err != nil {
+			return false
+		}
+		h := ts.Columns["v"].Hist
+		for i := 1; i < len(h); i++ {
+			if h[i].Upper <= h[i-1].Upper {
+				return false
+			}
+		}
+		total := 0
+		for _, b := range h {
+			total += b.Count
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectivityLessMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	ts, _ := ComputeStats(intTable(vals), 16, 4)
+	cs := ts.Columns["v"]
+	prev := -1.0
+	for x := int64(-5); x <= 105; x += 5 {
+		s := cs.SelectivityLess(x, false)
+		if s < prev-1e-9 {
+			t.Fatalf("selectivity not monotone at %d: %v < %v", x, s, prev)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("selectivity %v out of range", s)
+		}
+		prev = s
+	}
+	if cs.SelectivityLess(-10, false) != 0 {
+		t.Fatal("below-min selectivity should be 0")
+	}
+	if cs.SelectivityLess(1000, true) != 1 {
+		t.Fatal("above-max selectivity should be 1")
+	}
+}
+
+func TestSelectivityLessAccuracy(t *testing.T) {
+	// Uniform data: estimates should be close to truth.
+	vals := make([]int64, 10000)
+	rng := rand.New(rand.NewSource(4))
+	for i := range vals {
+		vals[i] = int64(rng.Intn(1000))
+	}
+	ts, _ := ComputeStats(intTable(vals), 32, 4)
+	cs := ts.Columns["v"]
+	for _, x := range []int64{100, 250, 500, 900} {
+		truth := 0
+		for _, v := range vals {
+			if v < x {
+				truth++
+			}
+		}
+		est := cs.SelectivityLess(x, false)
+		if math.Abs(est-float64(truth)/10000) > 0.05 {
+			t.Fatalf("x=%d: est %v truth %v", x, est, float64(truth)/10000)
+		}
+	}
+}
+
+func TestStrStats(t *testing.T) {
+	s := &Schema{Name: "t", Columns: []Column{{Name: "c", Type: String}}}
+	tab := NewTable(s, 6)
+	copy(tab.Strs["c"], []string{"a", "a", "a", "b", "b", "c"})
+	ts, err := ComputeStats(tab, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ts.Columns["c"]
+	if cs.NDV != 3 {
+		t.Fatalf("NDV = %d", cs.NDV)
+	}
+	if len(cs.TopVals) != 2 || cs.TopVals[0] != "a" || cs.TopFreqs[0] != 3 {
+		t.Fatalf("TopVals = %v %v", cs.TopVals, cs.TopFreqs)
+	}
+	// Common value: exact frequency.
+	if got := cs.SelectivityEqStr("a"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("sel(a) = %v", got)
+	}
+	// Rare value: uniform over the remainder. 1 rare value holds 1 row.
+	if got := cs.SelectivityEqStr("zzz"); math.Abs(got-1.0/6) > 1e-12 {
+		t.Fatalf("sel(zzz) = %v", got)
+	}
+}
+
+func TestSelectivityEq(t *testing.T) {
+	ts, _ := ComputeStats(intTable([]int64{1, 2, 3, 4}), 4, 4)
+	if got := ts.Columns["v"].SelectivityEq(); got != 0.25 {
+		t.Fatalf("SelectivityEq = %v", got)
+	}
+}
+
+func TestIntMCVs(t *testing.T) {
+	// 7 appears 5×, 3 appears 3×, the rest once.
+	vals := []int64{7, 7, 7, 7, 7, 3, 3, 3, 1, 2}
+	ts, _ := ComputeStats(intTable(vals), 4, 2)
+	cs := ts.Columns["v"]
+	if len(cs.MCVs) != 2 || cs.MCVs[0] != 7 || cs.MCVFreqs[0] != 5 || cs.MCVs[1] != 3 {
+		t.Fatalf("MCVs = %v %v", cs.MCVs, cs.MCVFreqs)
+	}
+	// MCV hit: exact frequency.
+	if got := cs.SelectivityEqInt(7); got != 0.5 {
+		t.Fatalf("sel(7) = %v", got)
+	}
+	// Non-MCV: uniform over the 2 remaining distinct values / 2 rows.
+	if got := cs.SelectivityEqInt(1); got != 0.1 {
+		t.Fatalf("sel(1) = %v", got)
+	}
+	// Out of range: zero.
+	if got := cs.SelectivityEqInt(99); got != 0 {
+		t.Fatalf("sel(99) = %v", got)
+	}
+}
+
+func TestMCVZipfAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	z := rand.NewZipf(rng, 1.3, 1, 999)
+	vals := make([]int64, 20000)
+	freq := map[int64]int{}
+	for i := range vals {
+		vals[i] = int64(z.Uint64()) + 1
+		freq[vals[i]]++
+	}
+	ts, _ := ComputeStats(intTable(vals), 32, 16)
+	cs := ts.Columns["v"]
+	// The hottest key must be estimated exactly.
+	est := cs.SelectivityEqInt(cs.MCVs[0])
+	truth := float64(freq[cs.MCVs[0]]) / float64(len(vals))
+	if math.Abs(est-truth) > 1e-12 {
+		t.Fatalf("MCV estimate %v != truth %v", est, truth)
+	}
+}
+
+func TestComputeStatsInvalidBuckets(t *testing.T) {
+	if _, err := ComputeStats(intTable([]int64{1}), 0, 4); err == nil {
+		t.Fatal("expected error for 0 buckets")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tab := NewTable(testSchema(), 10)
+	ts, _ := ComputeStats(tab, 4, 4)
+	want := int64(10*bytesPerIntCol + 10*bytesPerStrCol)
+	if ts.SizeBytes != want {
+		t.Fatalf("SizeBytes = %d, want %d", ts.SizeBytes, want)
+	}
+}
+
+func TestEmptyTableStats(t *testing.T) {
+	ts, err := ComputeStats(intTable(nil), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ts.Columns["v"]
+	if cs.NDV != 0 || len(cs.Hist) != 0 {
+		t.Fatalf("empty stats: %+v", cs)
+	}
+}

@@ -1,0 +1,102 @@
+package catalog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// LoadCSV reads comma-separated rows into a table of the given schema,
+// letting downstream users bring their own data instead of the synthetic
+// benchmarks. The first record must be a header naming every schema
+// column (in any order); values of Int64 columns must parse as integers.
+func LoadCSV(schema *Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("catalog: reading CSV header: %w", err)
+	}
+	colIdx := make([]int, len(schema.Columns))
+	for i, c := range schema.Columns {
+		colIdx[i] = -1
+		for j, h := range header {
+			if h == c.Name {
+				colIdx[i] = j
+				break
+			}
+		}
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("catalog: CSV is missing column %q", c.Name)
+		}
+	}
+
+	var ints map[string][]int64
+	var strs map[string][]string
+	ints = map[string][]int64{}
+	strs = map[string][]string{}
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("catalog: reading CSV row %d: %w", rows+2, err)
+		}
+		for i, c := range schema.Columns {
+			v := rec[colIdx[i]]
+			switch c.Type {
+			case Int64:
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("catalog: row %d column %q: %q is not an integer", rows+2, c.Name, v)
+				}
+				ints[c.Name] = append(ints[c.Name], n)
+			case String:
+				strs[c.Name] = append(strs[c.Name], v)
+			}
+		}
+		rows++
+	}
+
+	t := &Table{Schema: schema, NumRows: rows, Ints: ints, Strs: strs}
+	for _, c := range schema.Columns {
+		if c.Type == Int64 && ints[c.Name] == nil {
+			ints[c.Name] = []int64{}
+		}
+		if c.Type == String && strs[c.Name] == nil {
+			strs[c.Name] = []string{}
+		}
+	}
+	return t, t.Validate()
+}
+
+// WriteCSV writes the table (header + rows) as CSV — the inverse of
+// LoadCSV, useful for exporting synthetic benchmarks.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Schema.Columns))
+	for row := 0; row < t.NumRows; row++ {
+		for i, c := range t.Schema.Columns {
+			switch c.Type {
+			case Int64:
+				rec[i] = strconv.FormatInt(t.Ints[c.Name][row], 10)
+			case String:
+				rec[i] = t.Strs[c.Name][row]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

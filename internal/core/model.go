@@ -1,0 +1,275 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"raal/internal/autodiff"
+	"raal/internal/encode"
+	"raal/internal/nn"
+	"raal/internal/sparksim"
+	"raal/internal/tensor"
+)
+
+// Config sets the model dimensions. SemDim, MaxNodes, and StatsDim must
+// match the encoder that produced the samples.
+type Config struct {
+	SemDim   int // semantic embedding width (encoder-dependent)
+	MaxNodes int // padded plan length
+	ResDim   int // resource vector width
+	StatsDim int // global statistics width
+	Hidden   int // plan feature layer width
+	K        int // attention latent dimension (paper: 32)
+	Seed     int64
+}
+
+// DefaultConfig returns the dimensions used throughout the experiments,
+// matched to an encoder with the given semantic width.
+func DefaultConfig(semDim, maxNodes int) Config {
+	return Config{
+		SemDim:   semDim,
+		MaxNodes: maxNodes,
+		ResDim:   sparksim.NumFeatures,
+		StatsDim: encode.NumStats,
+		Hidden:   48,
+		K:        32,
+		Seed:     1,
+	}
+}
+
+// nodeStatFeatures mirrors encode: per-node stats appended to each row.
+const nodeStatFeatures = 2
+
+// Model is a deep cost model of one Variant.
+type Model struct {
+	Var Variant
+	Cfg Config
+
+	lstm *nn.LSTM
+	conv *nn.Conv1D
+
+	wq, wk *nn.Param // node-aware attention projections (Hidden×K)
+	wr     *nn.Param // resource query projection (ResDim×K)
+	wrk    *nn.Param // resource-side node key projection (Hidden×K)
+
+	head *nn.MLP
+}
+
+// NewModel builds a model for the variant with freshly initialized weights.
+func NewModel(v Variant, cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Var: v, Cfg: cfg}
+	in := m.inputDim()
+	if v.CNN {
+		m.conv = nn.NewConv1D("plan.conv", in, cfg.Hidden, 3, nn.ReLU, rng)
+	} else {
+		m.lstm = nn.NewLSTM("plan.lstm", in, cfg.Hidden, rng)
+	}
+	if v.NodeAttention {
+		m.wq = nn.NewParam("attn.wq", nn.Xavier(cfg.Hidden, cfg.K, rng))
+		m.wk = nn.NewParam("attn.wk", nn.Xavier(cfg.Hidden, cfg.K, rng))
+	}
+	if v.ResourceAttention {
+		m.wr = nn.NewParam("res.wr", nn.Xavier(cfg.ResDim, cfg.K, rng))
+		m.wrk = nn.NewParam("res.wk", nn.Xavier(cfg.Hidden, cfg.K, rng))
+	}
+	m.head = nn.NewMLP("head", []int{m.headDim(), cfg.Hidden, cfg.Hidden / 2, 1}, nn.ReLU, rng)
+	return m
+}
+
+// inputDim is the per-node input width after variant column selection.
+func (m *Model) inputDim() int {
+	d := m.Cfg.SemDim + nodeStatFeatures
+	if m.Var.Structure {
+		d += m.Cfg.MaxNodes
+	}
+	return d
+}
+
+// headDim is the width of the prediction layer's input.
+func (m *Model) headDim() int {
+	d := m.Cfg.Hidden + m.Cfg.StatsDim
+	if m.Var.ResourceAttention {
+		d += m.Cfg.Hidden
+	}
+	return d
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	if m.lstm != nil {
+		ps = append(ps, m.lstm.Params()...)
+	}
+	if m.conv != nil {
+		ps = append(ps, m.conv.Params()...)
+	}
+	if m.wq != nil {
+		ps = append(ps, m.wq, m.wk)
+	}
+	if m.wr != nil {
+		ps = append(ps, m.wr, m.wrk)
+	}
+	ps = append(ps, m.head.Params()...)
+	return ps
+}
+
+// nodeInput extracts the model's input row for sample node i, dropping the
+// structure segment for NE-LSTM.
+func (m *Model) nodeInput(s *encode.Sample, i int, dst []float64) {
+	row := s.Nodes.Row(i)
+	sem := m.Cfg.SemDim
+	if m.Var.Structure {
+		copy(dst, row) // full row: semantic | structure | stats
+		return
+	}
+	copy(dst[:sem], row[:sem])
+	copy(dst[sem:], row[sem+m.Cfg.MaxNodes:])
+}
+
+// forward builds the computation graph for a batch and returns the B×1
+// prediction (log-cost scale). The recurrence is unrolled only up to the
+// batch's longest real plan — padding rows are fully masked downstream, so
+// truncating them is numerically identical and substantially faster.
+func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var {
+	bsz := len(batch)
+	L := 1
+	for _, s := range batch {
+		for i := len(s.Mask) - 1; i >= 0; i-- {
+			if s.Mask[i] {
+				if i+1 > L {
+					L = i + 1
+				}
+				break
+			}
+		}
+	}
+	in := m.inputDim()
+
+	// Plan feature layer.
+	perSampleH := make([]*autodiff.Var, bsz) // each L×Hidden
+	if m.lstm != nil {
+		xs := make([]*autodiff.Var, L)
+		for t := 0; t < L; t++ {
+			xt := tensor.New(bsz, in)
+			for b, s := range batch {
+				m.nodeInput(s, t, xt.Row(b))
+			}
+			xs[t] = tp.Const(xt)
+		}
+		hs := m.lstm.Forward(tp, xs)
+		for b := 0; b < bsz; b++ {
+			rows := make([]*autodiff.Var, L)
+			for t := 0; t < L; t++ {
+				rows[t] = tp.RowAt(hs[t], b)
+			}
+			perSampleH[b] = tp.ConcatRows(rows...)
+		}
+	} else {
+		for b, s := range batch {
+			x := tensor.New(L, in)
+			for t := 0; t < L; t++ {
+				m.nodeInput(s, t, x.Row(t))
+			}
+			perSampleH[b] = m.conv.Forward(tp, tp.Const(x))
+		}
+	}
+
+	scale := 1 / math.Sqrt(float64(m.Cfg.K))
+	feats := make([]*autodiff.Var, bsz)
+	for b, s := range batch {
+		h := perSampleH[b]
+		mask := s.Mask[:L]
+		var pooled *autodiff.Var
+		if m.Var.NodeAttention {
+			children := make([][]bool, L)
+			for i := 0; i < L; i++ {
+				children[i] = s.Children[i][:L]
+			}
+			q := tp.MatMul(h, m.wq.Var)
+			k := tp.MatMul(h, m.wk.Var)
+			scores := tp.Scale(tp.MatMul(q, tp.Transpose(k)), scale)
+			attn := tp.SoftmaxRowsMask2D(scores, children)
+			attended := tp.MatMul(attn, h)
+			// Leaves have no children: their attended rows are zero, so
+			// blend with the raw hidden state before pooling.
+			pooled = tp.MeanRowsMasked(tp.Add(attended, h), mask)
+		} else {
+			pooled = tp.MeanRowsMasked(h, mask)
+		}
+
+		parts := []*autodiff.Var{pooled}
+		if m.Var.ResourceAttention {
+			r := tp.Const(tensor.RowVector(s.Resource))
+			q := tp.MatMul(r, m.wr.Var)             // 1×K
+			keys := tp.MatMul(h, m.wrk.Var)         // L×K
+			scores := tp.Scale(tp.MatMul(q, tp.Transpose(keys)), scale) // 1×L
+			battn := tp.SoftmaxRows(scores, mask)
+			parts = append(parts, tp.MatMul(battn, h)) // 1×Hidden
+		}
+		parts = append(parts, tp.Const(tensor.RowVector(s.Stats)))
+		feats[b] = tp.ConcatCols(parts...)
+	}
+	return m.head.Forward(tp, tp.ConcatRows(feats...))
+}
+
+// Predict returns the estimated cost in seconds for each sample.
+func (m *Model) Predict(samples []*encode.Sample) []float64 {
+	out := make([]float64, len(samples))
+	const chunk = 64
+	for lo := 0; lo < len(samples); lo += chunk {
+		hi := lo + chunk
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		tp := autodiff.NewTape()
+		pred := m.forward(tp, samples[lo:hi])
+		for i := lo; i < hi; i++ {
+			out[i] = invTransform(pred.Value.At(i-lo, 0))
+		}
+	}
+	return out
+}
+
+// transform maps a cost in seconds to the training scale; the models
+// regress log cost, which tames the heavy-tailed label distribution.
+func transform(sec float64) float64 { return math.Log1p(sec) }
+
+// invTransform maps a prediction back to seconds.
+func invTransform(y float64) float64 {
+	v := math.Expm1(y)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// modelSnapshot is the serialized form of a model.
+type modelSnapshot struct {
+	Var Variant
+	Cfg Config
+}
+
+// Save writes the model (variant, config, weights) to w.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(modelSnapshot{Var: m.Var, Cfg: m.Cfg}); err != nil {
+		return fmt.Errorf("core: encoding model header: %w", err)
+	}
+	return nn.Save(w, m.Params())
+}
+
+// LoadModel reads a model previously written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding model header: %w", err)
+	}
+	m := NewModel(snap.Var, snap.Cfg)
+	if err := nn.Load(r, m.Params()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

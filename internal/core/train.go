@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"raal/internal/autodiff"
+	"raal/internal/encode"
+	"raal/internal/metrics"
+	"raal/internal/nn"
+	"raal/internal/tensor"
+)
+
+// TrainConfig controls optimization.
+type TrainConfig struct {
+	Epochs   int
+	Batch    int
+	LR       float64
+	ClipNorm float64
+	Seed     int64
+	// Quiet suppresses the per-epoch progress callback.
+	Progress func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig returns the settings used by the experiment harness.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, Batch: 16, LR: 3e-3, ClipNorm: 5, Seed: 1}
+}
+
+// TrainResult reports what happened during training.
+type TrainResult struct {
+	LossCurve []float64 // mean MSE (log-cost scale) per epoch
+	Duration  time.Duration
+	Samples   int
+}
+
+// Train fits a fresh model of the given variant on samples.
+func Train(samples []*encode.Sample, v Variant, mc Config, tc TrainConfig) (*Model, *TrainResult, error) {
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("core: no training samples")
+	}
+	if tc.Epochs <= 0 || tc.Batch <= 0 {
+		return nil, nil, fmt.Errorf("core: invalid train config %+v", tc)
+	}
+	m := NewModel(v, mc)
+	res, err := m.Fit(samples, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, res, nil
+}
+
+// Fit trains the model in place on samples and returns the loss curve.
+func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	params := m.Params()
+	opt := nn.NewAdam(tc.LR)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	start := time.Now()
+	result := &TrainResult{Samples: len(samples)}
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < len(idx); lo += tc.Batch {
+			hi := lo + tc.Batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			batch := make([]*encode.Sample, hi-lo)
+			target := tensor.New(hi-lo, 1)
+			for i := lo; i < hi; i++ {
+				batch[i-lo] = samples[idx[i]]
+				target.Set(i-lo, 0, transform(samples[idx[i]].CostSec))
+			}
+			tp := autodiff.NewTape()
+			loss := tp.MSE(m.forward(tp, batch), target)
+			tp.Backward(loss)
+			if tc.ClipNorm > 0 {
+				nn.ClipGradNorm(params, tc.ClipNorm)
+			}
+			opt.Step(params)
+			epochLoss += loss.Value.Data[0]
+			batches++
+		}
+		epochLoss /= float64(batches)
+		result.LossCurve = append(result.LossCurve, epochLoss)
+		if tc.Progress != nil {
+			tc.Progress(epoch, epochLoss)
+		}
+	}
+	result.Duration = time.Since(start)
+	return result, nil
+}
+
+// Evaluate computes the paper's metrics of the model on samples: RE, COR,
+// and R² on raw seconds, MSE on the log-cost training scale (which is what
+// keeps the paper's MSE magnitudes comparable across workloads).
+func (m *Model) Evaluate(samples []*encode.Sample) (metrics.Result, error) {
+	if len(samples) == 0 {
+		return metrics.Result{}, fmt.Errorf("core: no evaluation samples")
+	}
+	est := m.Predict(samples)
+	actual := make([]float64, len(samples))
+	actLog := make([]float64, len(samples))
+	estLog := make([]float64, len(samples))
+	for i, s := range samples {
+		actual[i] = s.CostSec
+		actLog[i] = transform(s.CostSec)
+		estLog[i] = transform(est[i])
+	}
+	res, err := metrics.Evaluate(actual, est)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	res.MSE = metrics.MSE(actLog, estLog)
+	return res, nil
+}

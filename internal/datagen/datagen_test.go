@@ -1,0 +1,182 @@
+package datagen
+
+import (
+	"testing"
+
+	"raal/internal/catalog"
+)
+
+func TestIMDBValid(t *testing.T) {
+	db := IMDB(0.1, 1)
+	wantTables := []string{
+		"title", "movie_companies", "movie_keyword", "movie_info",
+		"movie_info_idx", "cast_info", "company_name", "keyword",
+	}
+	for _, name := range wantTables {
+		tab, err := db.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tab.NumRows == 0 {
+			t.Fatalf("table %s is empty", name)
+		}
+	}
+}
+
+func TestIMDBForeignKeysInRange(t *testing.T) {
+	db := IMDB(0.05, 2)
+	title, _ := db.Table("title")
+	n := int64(title.NumRows)
+	for _, ft := range []string{"movie_companies", "movie_keyword", "movie_info", "movie_info_idx", "cast_info"} {
+		tab, _ := db.Table(ft)
+		for _, v := range tab.IntCol("movie_id") {
+			if v < 1 || v > n {
+				t.Fatalf("%s.movie_id %d outside [1,%d]", ft, v, n)
+			}
+		}
+	}
+}
+
+func TestIMDBZipfSkew(t *testing.T) {
+	// The most popular movie should have far more than the mean number of
+	// keyword rows — that skew is what makes IMDB hard.
+	db := IMDB(0.2, 3)
+	mk, _ := db.Table("movie_keyword")
+	counts := map[int64]int{}
+	for _, v := range mk.IntCol("movie_id") {
+		counts[v]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	mean := float64(mk.NumRows) / float64(len(counts))
+	if float64(maxCount) < 10*mean {
+		t.Fatalf("movie_id distribution not skewed: max %d, mean %.1f", maxCount, mean)
+	}
+}
+
+func TestIMDBDeterministic(t *testing.T) {
+	a := IMDB(0.05, 7)
+	b := IMDB(0.05, 7)
+	ta, _ := a.Table("title")
+	tb, _ := b.Table("title")
+	for i, v := range ta.IntCol("production_year") {
+		if tb.IntCol("production_year")[i] != v {
+			t.Fatal("IMDB generation not deterministic")
+		}
+	}
+}
+
+func TestIMDBScaling(t *testing.T) {
+	small := IMDB(0.05, 1)
+	big := IMDB(0.2, 1)
+	if big.TotalRows() <= small.TotalRows()*2 {
+		t.Fatalf("scaling broken: scale 0.2 rows %d vs scale 0.05 rows %d",
+			big.TotalRows(), small.TotalRows())
+	}
+}
+
+func TestIMDBYearCorrelation(t *testing.T) {
+	db := IMDB(0.3, 4)
+	title, _ := db.Table("title")
+	kinds := title.IntCol("kind_id")
+	years := title.IntCol("production_year")
+	var sum1, n1, sumOther, nOther float64
+	for i := range kinds {
+		if kinds[i] == 1 {
+			sum1 += float64(years[i])
+			n1++
+		} else if kinds[i] > 2 && kinds[i] < 7 {
+			sumOther += float64(years[i])
+			nOther++
+		}
+	}
+	if n1 == 0 || nOther == 0 {
+		t.Skip("not enough data for correlation check")
+	}
+	if sum1/n1 <= sumOther/nOther {
+		t.Fatalf("kind 1 movies should skew recent: %v vs %v", sum1/n1, sumOther/nOther)
+	}
+}
+
+func TestTPCHValid(t *testing.T) {
+	db := TPCH(0.1, 1)
+	for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		tab, err := db.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	region, _ := db.Table("region")
+	if region.NumRows != 5 {
+		t.Fatalf("region rows = %d, want 5", region.NumRows)
+	}
+}
+
+func TestTPCHForeignKeys(t *testing.T) {
+	db := TPCH(0.1, 2)
+	orders, _ := db.Table("orders")
+	customer, _ := db.Table("customer")
+	nCust := int64(customer.NumRows)
+	for _, v := range orders.IntCol("o_custkey") {
+		if v < 1 || v > nCust {
+			t.Fatalf("o_custkey %d outside [1,%d]", v, nCust)
+		}
+	}
+	lineitem, _ := db.Table("lineitem")
+	nOrd := int64(orders.NumRows)
+	for _, v := range lineitem.IntCol("l_orderkey") {
+		if v < 1 || v > nOrd {
+			t.Fatalf("l_orderkey %d outside [1,%d]", v, nOrd)
+		}
+	}
+}
+
+func TestTPCHLineitemClustering(t *testing.T) {
+	// Line items for the same order should appear in runs (as generated),
+	// giving multiple rows per order key on average.
+	db := TPCH(0.2, 3)
+	lineitem, _ := db.Table("lineitem")
+	keys := map[int64]bool{}
+	for _, v := range lineitem.IntCol("l_orderkey") {
+		keys[v] = true
+	}
+	avg := float64(lineitem.NumRows) / float64(len(keys))
+	if avg < 1.5 {
+		t.Fatalf("expected multiple line items per order, got avg %.2f", avg)
+	}
+}
+
+func TestTPCHStringDomains(t *testing.T) {
+	db := TPCH(0.05, 4)
+	lineitem, _ := db.Table("lineitem")
+	valid := map[string]bool{"R": true, "A": true, "N": true}
+	for _, v := range lineitem.StrCol("l_returnflag") {
+		if !valid[v] {
+			t.Fatalf("invalid l_returnflag %q", v)
+		}
+	}
+}
+
+func TestStatsComputableOnGeneratedData(t *testing.T) {
+	db := IMDB(0.05, 5)
+	for _, name := range db.TableNames() {
+		tab, _ := db.Table(name)
+		ts, err := catalog.ComputeStats(tab, 16, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ts.Rows != tab.NumRows {
+			t.Fatalf("%s stats rows mismatch", name)
+		}
+	}
+}

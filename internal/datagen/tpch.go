@@ -1,0 +1,167 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"raal/internal/catalog"
+)
+
+// TPCH generates a synthetic TPC-H database with the columns the paper's
+// template-generated workload touches. At scale 1.0 it holds roughly 85K
+// rows across 8 tables (our unit scale; the paper used SF100 on a real
+// cluster). Value distributions follow the TPC-H spec's shapes: uniform
+// keys, date ranges over 1992–1998 (encoded as days since 1992-01-01), and
+// categorical string columns drawn from the spec's value lists.
+func TPCH(scale float64, seed int64) *catalog.Database {
+	rng := rand.New(rand.NewSource(seed))
+
+	nRegion := 5
+	nNation := 25
+	nSupplier := scaled(200, scale)
+	nCustomer := scaled(3000, scale)
+	nPart := scaled(4000, scale)
+	nPartsupp := scaled(16000, scale)
+	nOrders := scaled(30000, scale)
+	nLineitem := scaled(120000, scale)
+
+	db := &catalog.Database{Name: "tpch", Tables: map[string]*catalog.Table{}}
+
+	region := catalog.NewTable(&catalog.Schema{
+		Name: "region",
+		Columns: []catalog.Column{
+			{Name: "r_regionkey", Type: catalog.Int64},
+			{Name: "r_name", Type: catalog.String},
+		},
+	}, nRegion)
+	region.Ints["r_regionkey"] = serialCol(nRegion)
+	copy(region.Strs["r_name"], []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"})
+	db.Tables["region"] = region
+
+	nation := catalog.NewTable(&catalog.Schema{
+		Name: "nation",
+		Columns: []catalog.Column{
+			{Name: "n_nationkey", Type: catalog.Int64},
+			{Name: "n_regionkey", Type: catalog.Int64},
+			{Name: "n_name", Type: catalog.String},
+		},
+	}, nNation)
+	nation.Ints["n_nationkey"] = serialCol(nNation)
+	nation.Ints["n_regionkey"] = uniformCol(rng, nNation, 1, int64(nRegion))
+	names := makePool("nation", nNation)
+	copy(nation.Strs["n_name"], names)
+	db.Tables["nation"] = nation
+
+	supplier := catalog.NewTable(&catalog.Schema{
+		Name: "supplier",
+		Columns: []catalog.Column{
+			{Name: "s_suppkey", Type: catalog.Int64},
+			{Name: "s_nationkey", Type: catalog.Int64},
+			{Name: "s_acctbal", Type: catalog.Int64},
+		},
+	}, nSupplier)
+	supplier.Ints["s_suppkey"] = serialCol(nSupplier)
+	supplier.Ints["s_nationkey"] = uniformCol(rng, nSupplier, 1, int64(nNation))
+	supplier.Ints["s_acctbal"] = uniformCol(rng, nSupplier, -999, 9999)
+	db.Tables["supplier"] = supplier
+
+	customer := catalog.NewTable(&catalog.Schema{
+		Name: "customer",
+		Columns: []catalog.Column{
+			{Name: "c_custkey", Type: catalog.Int64},
+			{Name: "c_nationkey", Type: catalog.Int64},
+			{Name: "c_acctbal", Type: catalog.Int64},
+			{Name: "c_mktsegment", Type: catalog.String},
+		},
+	}, nCustomer)
+	customer.Ints["c_custkey"] = serialCol(nCustomer)
+	customer.Ints["c_nationkey"] = uniformCol(rng, nCustomer, 1, int64(nNation))
+	customer.Ints["c_acctbal"] = uniformCol(rng, nCustomer, -999, 9999)
+	customer.Strs["c_mktsegment"] = poolCol(rng, nCustomer,
+		[]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}, 1.01)
+	db.Tables["customer"] = customer
+
+	part := catalog.NewTable(&catalog.Schema{
+		Name: "part",
+		Columns: []catalog.Column{
+			{Name: "p_partkey", Type: catalog.Int64},
+			{Name: "p_size", Type: catalog.Int64},
+			{Name: "p_retailprice", Type: catalog.Int64},
+			{Name: "p_brand", Type: catalog.String},
+			{Name: "p_type", Type: catalog.String},
+		},
+	}, nPart)
+	part.Ints["p_partkey"] = serialCol(nPart)
+	part.Ints["p_size"] = uniformCol(rng, nPart, 1, 50)
+	part.Ints["p_retailprice"] = uniformCol(rng, nPart, 900, 2100)
+	part.Strs["p_brand"] = poolCol(rng, nPart, makePool("Brand", 25), 1.01)
+	part.Strs["p_type"] = poolCol(rng, nPart, makePool("type", 150), 1.05)
+	db.Tables["part"] = part
+
+	partsupp := catalog.NewTable(&catalog.Schema{
+		Name: "partsupp",
+		Columns: []catalog.Column{
+			{Name: "ps_partkey", Type: catalog.Int64},
+			{Name: "ps_suppkey", Type: catalog.Int64},
+			{Name: "ps_availqty", Type: catalog.Int64},
+			{Name: "ps_supplycost", Type: catalog.Int64},
+		},
+	}, nPartsupp)
+	partsupp.Ints["ps_partkey"] = uniformCol(rng, nPartsupp, 1, int64(nPart))
+	partsupp.Ints["ps_suppkey"] = uniformCol(rng, nPartsupp, 1, int64(nSupplier))
+	partsupp.Ints["ps_availqty"] = uniformCol(rng, nPartsupp, 1, 9999)
+	partsupp.Ints["ps_supplycost"] = uniformCol(rng, nPartsupp, 1, 1000)
+	db.Tables["partsupp"] = partsupp
+
+	const maxDate = 7 * 365 // days since 1992-01-01
+	orders := catalog.NewTable(&catalog.Schema{
+		Name: "orders",
+		Columns: []catalog.Column{
+			{Name: "o_orderkey", Type: catalog.Int64},
+			{Name: "o_custkey", Type: catalog.Int64},
+			{Name: "o_totalprice", Type: catalog.Int64},
+			{Name: "o_orderdate", Type: catalog.Int64},
+			{Name: "o_orderpriority", Type: catalog.String},
+		},
+	}, nOrders)
+	orders.Ints["o_orderkey"] = serialCol(nOrders)
+	orders.Ints["o_custkey"] = zipfCol(rng, nOrders, uint64(nCustomer), 1.05)
+	orders.Ints["o_totalprice"] = uniformCol(rng, nOrders, 1000, 500000)
+	orders.Ints["o_orderdate"] = uniformCol(rng, nOrders, 0, maxDate)
+	orders.Strs["o_orderpriority"] = poolCol(rng, nOrders,
+		[]string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}, 1.01)
+	db.Tables["orders"] = orders
+
+	lineitem := catalog.NewTable(&catalog.Schema{
+		Name: "lineitem",
+		Columns: []catalog.Column{
+			{Name: "l_orderkey", Type: catalog.Int64},
+			{Name: "l_partkey", Type: catalog.Int64},
+			{Name: "l_suppkey", Type: catalog.Int64},
+			{Name: "l_quantity", Type: catalog.Int64},
+			{Name: "l_extendedprice", Type: catalog.Int64},
+			{Name: "l_discount", Type: catalog.Int64},
+			{Name: "l_shipdate", Type: catalog.Int64},
+			{Name: "l_returnflag", Type: catalog.String},
+		},
+	}, nLineitem)
+	// Each order gets 1-7 line items; generate orderkeys by repeating.
+	lok := lineitem.Ints["l_orderkey"]
+	for i := 0; i < nLineitem; {
+		ok := int64(rng.Intn(nOrders) + 1)
+		k := 1 + rng.Intn(7)
+		for j := 0; j < k && i < nLineitem; j++ {
+			lok[i] = ok
+			i++
+		}
+	}
+	lineitem.Ints["l_partkey"] = uniformCol(rng, nLineitem, 1, int64(nPart))
+	lineitem.Ints["l_suppkey"] = uniformCol(rng, nLineitem, 1, int64(nSupplier))
+	lineitem.Ints["l_quantity"] = uniformCol(rng, nLineitem, 1, 50)
+	lineitem.Ints["l_extendedprice"] = uniformCol(rng, nLineitem, 900, 105000)
+	lineitem.Ints["l_discount"] = uniformCol(rng, nLineitem, 0, 10)
+	lineitem.Ints["l_shipdate"] = uniformCol(rng, nLineitem, 0, maxDate+120)
+	lineitem.Strs["l_returnflag"] = poolCol(rng, nLineitem, []string{"R", "A", "N"}, 1.01)
+	db.Tables["lineitem"] = lineitem
+
+	return db
+}

@@ -1,0 +1,61 @@
+package encode
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"raal/internal/word2vec"
+)
+
+// encoderSnapshot is the serialized form of an Encoder.
+type encoderSnapshot struct {
+	Mode     SemanticMode
+	MaxNodes int
+	MaxResV  []float64 // not used for reconstruction; kept for inspection
+	Dim      int
+	Words    []string
+	Vectors  [][]float64
+	Cfg      Config
+}
+
+// Save writes the fitted encoder (configuration plus word2vec vocabulary
+// and vectors) to w.
+func (e *Encoder) Save(w io.Writer) error {
+	snap := encoderSnapshot{
+		Mode:     e.cfg.Mode,
+		MaxNodes: e.cfg.MaxNodes,
+		Cfg:      e.cfg,
+	}
+	if e.w2v != nil {
+		snap.Dim = e.w2v.Dim
+		snap.Words = e.w2v.Words
+		snap.Vectors = e.w2v.In
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("encode: saving encoder: %w", err)
+	}
+	return nil
+}
+
+// LoadEncoder reads an encoder previously written by Save.
+func LoadEncoder(r io.Reader) (*Encoder, error) {
+	var snap encoderSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("encode: loading encoder: %w", err)
+	}
+	e := &Encoder{cfg: snap.Cfg}
+	if snap.Cfg.Mode == Word2Vec {
+		m := &word2vec.Model{
+			Dim:   snap.Dim,
+			Words: snap.Words,
+			In:    snap.Vectors,
+			Vocab: make(map[string]int, len(snap.Words)),
+		}
+		for i, w := range snap.Words {
+			m.Vocab[w] = i
+		}
+		e.w2v = m
+	}
+	return e, nil
+}

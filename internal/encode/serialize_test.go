@@ -1,0 +1,57 @@
+package encode
+
+import (
+	"bytes"
+	"testing"
+
+	"raal/internal/sparksim"
+	"raal/internal/tensor"
+)
+
+func TestEncoderSaveLoadRoundTrip(t *testing.T) {
+	enc, plans := fitEncoder(t, Word2Vec)
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.MaxNodes() != enc.MaxNodes() || restored.NodeDim() != enc.NodeDim() {
+		t.Fatalf("dims not restored: %d/%d vs %d/%d",
+			restored.MaxNodes(), restored.NodeDim(), enc.MaxNodes(), enc.NodeDim())
+	}
+	res := sparksim.DefaultResources()
+	for _, p := range plans {
+		a := enc.EncodePlan(p, res)
+		b := restored.EncodePlan(p, res)
+		if !tensor.AllClose(a.Nodes, b.Nodes, 0) {
+			t.Fatal("restored encoder encodes differently")
+		}
+	}
+}
+
+func TestEncoderSaveLoadOneHot(t *testing.T) {
+	enc, plans := fitEncoder(t, OneHot)
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sparksim.DefaultResources()
+	a := enc.EncodePlan(plans[0], res)
+	b := restored.EncodePlan(plans[0], res)
+	if !tensor.AllClose(a.Nodes, b.Nodes, 0) {
+		t.Fatal("one-hot encoder round trip failed")
+	}
+}
+
+func TestLoadEncoderGarbage(t *testing.T) {
+	if _, err := LoadEncoder(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}

@@ -1,0 +1,81 @@
+// Package encode turns physical plans, resource allocations, and catalog
+// statistics into the tensors the deep cost models consume, implementing
+// the paper's Sec. IV-C feature encoding:
+//
+//   - node-semantic embedding: each operator's execution statement is
+//     tokenized and embedded with word2vec (one-hot is kept as the
+//     ablation alternative);
+//   - plan-structure embedding: a signed adjacency vector per node
+//     (+1 for children, −1 for the parent);
+//   - resource embedding: Table-I features normalized to [0,1] by the
+//     cluster maxima (Eq. 1);
+//   - other features: normalized cardinality statistics.
+package encode
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a physical-plan execution statement into word2vec
+// tokens. Identifiers and keywords become lowercase tokens, comparison
+// operators survive as their own tokens, and numeric literals are bucketed
+// by order of magnitude (num0, num1, …) so that similar-magnitude
+// constants share a token — the trick that lets word2vec place similar
+// predicates near each other, which one-hot encoding cannot do.
+func Tokenize(statement string) []string {
+	var toks []string
+	i, n := 0, len(statement)
+	for i < n {
+		c := statement[i]
+		switch {
+		case c == ' ' || c == ',' || c == '(' || c == ')' || c == '[' || c == ']' || c == '\'':
+			i++
+		case c == '&' || c == '|':
+			j := i
+			for j < n && (statement[j] == '&' || statement[j] == '|') {
+				j++
+			}
+			toks = append(toks, statement[i:j])
+			i = j
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < n && (statement[j] == '=' || statement[j] == '>') {
+				j++
+			}
+			toks = append(toks, statement[i:j])
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(statement[i+1]))):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < n && unicode.IsDigit(rune(statement[j])) {
+				j++
+			}
+			toks = append(toks, bucketNumber(statement[i:j]))
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(statement[j])) || unicode.IsDigit(rune(statement[j])) || statement[j] == '_' || statement[j] == '.') {
+				j++
+			}
+			toks = append(toks, strings.ToLower(statement[i:j]))
+			i = j
+		default:
+			i++
+		}
+	}
+	return toks
+}
+
+// bucketNumber maps a numeric literal to a magnitude-bucket token.
+func bucketNumber(lit string) string {
+	v, err := strconv.ParseFloat(strings.TrimPrefix(lit, "-"), 64)
+	if err != nil || v < 1 {
+		return "num0"
+	}
+	return "num" + strconv.Itoa(int(math.Log10(v)))
+}

@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"raal/internal/catalog"
+	"raal/internal/logical"
+	"raal/internal/sql"
+)
+
+// Partial aggregation emits, per group, internal state columns that final
+// aggregation merges — mirroring Spark's two-phase (partial/final)
+// aggregation. State columns per aggregate i:
+//
+//	count      → __p<i>_cnt
+//	sum        → __p<i>_sum
+//	avg        → __p<i>_sum and __p<i>_cnt
+//	min / max  → __p<i>_min / __p<i>_max
+//
+// Final output columns are named agg<i> (int64), and the group key keeps
+// its qualified name. AVG results use integer division, which is
+// sufficient for a cost-model substrate.
+
+type aggState struct {
+	cnt      int64
+	sum      int64
+	min, max int64
+	seen     bool
+}
+
+// groupKeyFn returns a row→group-key function and an emitter that copies
+// the key columns of a representative row into the output relation. Empty
+// groupBy puts every row in one global group.
+func groupKeyFn(rel *Relation, groupBy []logical.BoundCol) (func(i int) string, func(repRow int, out *Relation), error) {
+	if len(groupBy) == 0 {
+		return func(int) string { return "" }, func(int, *Relation) {}, nil
+	}
+	type colAccess struct {
+		name string
+		ints []int64
+		strs []string
+	}
+	cols := make([]colAccess, len(groupBy))
+	for i, g := range groupBy {
+		name := g.String()
+		ca := colAccess{name: name}
+		if ic, ok := rel.Ints[name]; ok {
+			ca.ints = ic
+		} else if sc, ok := rel.Strs[name]; ok {
+			ca.strs = sc
+		} else {
+			return nil, nil, fmt.Errorf("group column %q missing", name)
+		}
+		cols[i] = ca
+	}
+	keyOf := func(i int) string {
+		var sb strings.Builder
+		for _, c := range cols {
+			if c.ints != nil {
+				fmt.Fprintf(&sb, "i%d\x00", c.ints[i])
+			} else {
+				fmt.Fprintf(&sb, "s%s\x00", c.strs[i])
+			}
+		}
+		return sb.String()
+	}
+	emit := func(repRow int, out *Relation) {
+		for _, c := range cols {
+			if c.ints != nil {
+				out.Ints[c.name] = append(out.Ints[c.name], c.ints[repRow])
+			} else {
+				out.Strs[c.name] = append(out.Strs[c.name], c.strs[repRow])
+			}
+		}
+	}
+	return keyOf, emit, nil
+}
+
+// aggInput returns the int column an aggregate reads, or nil for COUNT(*).
+func aggInput(rel *Relation, a logical.BoundAgg) ([]int64, error) {
+	if a.Star || a.Col == nil {
+		return nil, nil
+	}
+	name := a.Col.String()
+	if ic, ok := rel.Ints[name]; ok {
+		return ic, nil
+	}
+	if _, ok := rel.Strs[name]; ok {
+		if a.Agg == sql.AggCount {
+			return nil, nil // COUNT over strings counts rows (no NULLs)
+		}
+		return nil, fmt.Errorf("aggregate %s over string column %q", a.Agg, name)
+	}
+	return nil, fmt.Errorf("aggregate column %q missing", name)
+}
+
+func partialAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.BoundAgg) (*Relation, error) {
+	keyOf, emitKey, err := groupKeyFn(rel, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([][]int64, len(aggs))
+	for i, a := range aggs {
+		in, err := aggInput(rel, a)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = in
+	}
+
+	states := map[string][]aggState{}
+	rep := map[string]int{} // representative row per group
+	var order []string
+	for i := 0; i < rel.N; i++ {
+		k := keyOf(i)
+		st, ok := states[k]
+		if !ok {
+			st = make([]aggState, len(aggs))
+			states[k] = st
+			rep[k] = i
+			order = append(order, k)
+		}
+		for ai := range aggs {
+			s := &st[ai]
+			s.cnt++
+			if inputs[ai] != nil {
+				v := inputs[ai][i]
+				s.sum += v
+				if !s.seen || v < s.min {
+					s.min = v
+				}
+				if !s.seen || v > s.max {
+					s.max = v
+				}
+				s.seen = true
+			}
+		}
+	}
+
+	out := NewRelation()
+	out.N = len(order)
+	for _, k := range order {
+		emitKey(rep[k], out)
+		st := states[k]
+		for ai, a := range aggs {
+			appendState(out, ai, a, st[ai])
+		}
+	}
+	// A global aggregate over zero rows still emits one all-zero row
+	// (COUNT(*) of an empty input is 0, not absent).
+	if len(groupBy) == 0 && out.N == 0 {
+		out.N = 1
+		for ai, a := range aggs {
+			appendState(out, ai, a, aggState{min: math.MaxInt64, max: math.MinInt64})
+		}
+	}
+	ensureGroupCols(out, groupBy)
+	return out, nil
+}
+
+// ensureGroupCols materializes empty key columns when no group was
+// produced, so downstream sorts and projections still resolve them.
+func ensureGroupCols(out *Relation, groupBy []logical.BoundCol) {
+	if out.N > 0 {
+		return
+	}
+	for _, g := range groupBy {
+		name := g.String()
+		if g.Type == catalog.String {
+			if out.Strs[name] == nil {
+				out.Strs[name] = []string{}
+			}
+		} else if out.Ints[name] == nil {
+			out.Ints[name] = []int64{}
+		}
+	}
+}
+
+func appendState(out *Relation, ai int, a logical.BoundAgg, s aggState) {
+	pfx := fmt.Sprintf("__p%d", ai)
+	switch a.Agg {
+	case sql.AggCount:
+		out.Ints[pfx+"_cnt"] = append(out.Ints[pfx+"_cnt"], s.cnt)
+	case sql.AggSum:
+		out.Ints[pfx+"_sum"] = append(out.Ints[pfx+"_sum"], s.sum)
+	case sql.AggAvg:
+		out.Ints[pfx+"_sum"] = append(out.Ints[pfx+"_sum"], s.sum)
+		out.Ints[pfx+"_cnt"] = append(out.Ints[pfx+"_cnt"], s.cnt)
+	case sql.AggMin:
+		out.Ints[pfx+"_min"] = append(out.Ints[pfx+"_min"], s.min)
+	case sql.AggMax:
+		out.Ints[pfx+"_max"] = append(out.Ints[pfx+"_max"], s.max)
+	case sql.AggNone:
+		// bare group-by column: carried by the key itself
+	}
+}
+
+func finalAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.BoundAgg) (*Relation, error) {
+	keyOf, emitKey, err := groupKeyFn(rel, groupBy)
+	if err != nil {
+		return nil, err
+	}
+
+	type finalState struct {
+		cnt, sum, min, max int64
+		seen               bool
+	}
+	states := map[string][]finalState{}
+	rep := map[string]int{}
+	var order []string
+	for i := 0; i < rel.N; i++ {
+		k := keyOf(i)
+		st, ok := states[k]
+		if !ok {
+			st = make([]finalState, len(aggs))
+			for ai := range st {
+				st[ai].min = math.MaxInt64
+				st[ai].max = math.MinInt64
+			}
+			states[k] = st
+			rep[k] = i
+			order = append(order, k)
+		}
+		for ai, a := range aggs {
+			s := &st[ai]
+			pfx := fmt.Sprintf("__p%d", ai)
+			switch a.Agg {
+			case sql.AggCount:
+				s.cnt += rel.Ints[pfx+"_cnt"][i]
+			case sql.AggSum:
+				s.sum += rel.Ints[pfx+"_sum"][i]
+			case sql.AggAvg:
+				s.sum += rel.Ints[pfx+"_sum"][i]
+				s.cnt += rel.Ints[pfx+"_cnt"][i]
+			case sql.AggMin:
+				if v := rel.Ints[pfx+"_min"][i]; v < s.min {
+					s.min = v
+				}
+				s.seen = true
+			case sql.AggMax:
+				if v := rel.Ints[pfx+"_max"][i]; v > s.max {
+					s.max = v
+				}
+				s.seen = true
+			}
+		}
+	}
+
+	out := NewRelation()
+	out.N = len(order)
+	for _, k := range order {
+		emitKey(rep[k], out)
+		for ai, a := range aggs {
+			name := fmt.Sprintf("agg%d", ai)
+			s := states[k][ai]
+			switch a.Agg {
+			case sql.AggCount:
+				out.Ints[name] = append(out.Ints[name], s.cnt)
+			case sql.AggSum:
+				out.Ints[name] = append(out.Ints[name], s.sum)
+			case sql.AggAvg:
+				var v int64
+				if s.cnt > 0 {
+					v = s.sum / s.cnt
+				}
+				out.Ints[name] = append(out.Ints[name], v)
+			case sql.AggMin:
+				out.Ints[name] = append(out.Ints[name], s.min)
+			case sql.AggMax:
+				out.Ints[name] = append(out.Ints[name], s.max)
+			case sql.AggNone:
+				// group key already emitted
+			}
+		}
+	}
+	ensureGroupCols(out, groupBy)
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"raal/internal/sql"
+)
+
+// compilePred turns a bound predicate into a per-row evaluator over rel.
+// Column references must be alias-qualified (the binder guarantees this).
+func compilePred(rel *Relation, p sql.Predicate) (func(i int) bool, error) {
+	switch pred := p.(type) {
+	case *sql.Comparison:
+		name := pred.Left.String()
+		if pred.RightCol != nil {
+			rname := pred.RightCol.String()
+			lc, lok := rel.Ints[name]
+			rc, rok := rel.Ints[rname]
+			if !lok || !rok {
+				return nil, fmt.Errorf("engine: column comparison %s needs int columns", pred)
+			}
+			op := pred.Op
+			return func(i int) bool { return cmpInt(lc[i], rc[i], op) }, nil
+		}
+		if pred.Lit.IsStr {
+			col, ok := rel.Strs[name]
+			if !ok {
+				return nil, fmt.Errorf("engine: missing string column %q", name)
+			}
+			lit := pred.Lit.S
+			op := pred.Op
+			return func(i int) bool { return cmpStr(col[i], lit, op) }, nil
+		}
+		col, ok := rel.Ints[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: missing int column %q", name)
+		}
+		lit := pred.Lit.I
+		op := pred.Op
+		return func(i int) bool { return cmpInt(col[i], lit, op) }, nil
+
+	case *sql.Between:
+		col, ok := rel.Ints[pred.Col.String()]
+		if !ok {
+			return nil, fmt.Errorf("engine: missing int column %q", pred.Col)
+		}
+		lo, hi := pred.Lo, pred.Hi
+		return func(i int) bool { return col[i] >= lo && col[i] <= hi }, nil
+
+	case *sql.In:
+		name := pred.Col.String()
+		if col, ok := rel.Ints[name]; ok {
+			set := map[int64]bool{}
+			for _, v := range pred.Values {
+				set[v.I] = true
+			}
+			return func(i int) bool { return set[col[i]] }, nil
+		}
+		if col, ok := rel.Strs[name]; ok {
+			set := map[string]bool{}
+			for _, v := range pred.Values {
+				set[v.S] = true
+			}
+			return func(i int) bool { return set[col[i]] }, nil
+		}
+		return nil, fmt.Errorf("engine: missing column %q", name)
+
+	case *sql.Like:
+		col, ok := rel.Strs[pred.Col.String()]
+		if !ok {
+			return nil, fmt.Errorf("engine: missing string column %q", pred.Col)
+		}
+		match := compileLike(pred.Pattern)
+		return func(i int) bool { return match(col[i]) }, nil
+
+	case *sql.NullCheck:
+		// Generated data is NULL-free: IS NOT NULL is vacuously true.
+		not := pred.Not
+		return func(int) bool { return not }, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported predicate %T", p)
+}
+
+func cmpInt(a, b int64, op sql.CmpOp) bool {
+	switch op {
+	case sql.OpEq:
+		return a == b
+	case sql.OpNe:
+		return a != b
+	case sql.OpLt:
+		return a < b
+	case sql.OpLe:
+		return a <= b
+	case sql.OpGt:
+		return a > b
+	case sql.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func cmpStr(a, b string, op sql.CmpOp) bool {
+	switch op {
+	case sql.OpEq:
+		return a == b
+	case sql.OpNe:
+		return a != b
+	case sql.OpLt:
+		return a < b
+	case sql.OpLe:
+		return a <= b
+	case sql.OpGt:
+		return a > b
+	case sql.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// compileLike supports SQL LIKE with % wildcards (no _): the pattern is
+// split on % and segments must appear in order, anchored at the ends when
+// the pattern does not start/end with %.
+func compileLike(pattern string) func(string) bool {
+	segs := strings.Split(pattern, "%")
+	anchoredStart := !strings.HasPrefix(pattern, "%")
+	anchoredEnd := !strings.HasSuffix(pattern, "%")
+	// Drop empty segments produced by consecutive or boundary %.
+	var parts []string
+	for _, s := range segs {
+		if s != "" {
+			parts = append(parts, s)
+		}
+	}
+	return func(s string) bool {
+		if len(parts) == 0 {
+			return true // pattern was all wildcards
+		}
+		if anchoredStart {
+			if !strings.HasPrefix(s, parts[0]) {
+				return false
+			}
+			s = s[len(parts[0]):]
+			rest := parts[1:]
+			if len(rest) == 0 {
+				return !anchoredEnd || s == ""
+			}
+			return likeTail(s, rest, anchoredEnd)
+		}
+		return likeTail(s, parts, anchoredEnd)
+	}
+}
+
+func likeTail(s string, parts []string, anchoredEnd bool) bool {
+	for i, p := range parts {
+		last := i == len(parts)-1
+		if last && anchoredEnd {
+			return strings.HasSuffix(s, p)
+		}
+		idx := strings.Index(s, p)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(p):]
+	}
+	return true
+}
+
+// applyPreds filters rel by the conjunction of preds.
+func applyPreds(rel *Relation, preds []sql.Predicate) (*Relation, error) {
+	if len(preds) == 0 {
+		return rel, nil
+	}
+	fns := make([]func(int) bool, len(preds))
+	for i, p := range preds {
+		f, err := compilePred(rel, p)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	var idx []int
+rowLoop:
+	for i := 0; i < rel.N; i++ {
+		for _, f := range fns {
+			if !f(i) {
+				continue rowLoop
+			}
+		}
+		idx = append(idx, i)
+	}
+	return rel.gather(idx), nil
+}

@@ -1,0 +1,97 @@
+// Package engine executes physical plans over in-memory columnar data.
+//
+// It is the single-node "truth oracle" of the reproduction: executing a
+// plan yields both the query result and the *actual* per-operator
+// cardinalities, which the cluster simulator (internal/sparksim) turns
+// into a wall-clock cost and the feature encoder exposes to the learned
+// models. Join-algorithm choices (SMJ vs BHJ) produce identical relations
+// here — their cost difference materializes only in the simulator, exactly
+// as in Spark.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is an intermediate result: columns keyed by alias-qualified
+// name ("t.id").
+type Relation struct {
+	N    int
+	Ints map[string][]int64
+	Strs map[string][]string
+}
+
+// NewRelation returns an empty relation.
+func NewRelation() *Relation {
+	return &Relation{Ints: map[string][]int64{}, Strs: map[string][]string{}}
+}
+
+// HasCol reports whether the relation carries the named column.
+func (r *Relation) HasCol(name string) bool {
+	_, ok := r.Ints[name]
+	if !ok {
+		_, ok = r.Strs[name]
+	}
+	return ok
+}
+
+// ColNames returns all column names, sorted.
+func (r *Relation) ColNames() []string {
+	var names []string
+	for n := range r.Ints {
+		names = append(names, n)
+	}
+	for n := range r.Strs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// gather builds a new relation keeping only the rows whose indices appear
+// in idx (in that order).
+func (r *Relation) gather(idx []int) *Relation {
+	out := NewRelation()
+	out.N = len(idx)
+	for name, col := range r.Ints {
+		nc := make([]int64, len(idx))
+		for i, j := range idx {
+			nc[i] = col[j]
+		}
+		out.Ints[name] = nc
+	}
+	for name, col := range r.Strs {
+		nc := make([]string, len(idx))
+		for i, j := range idx {
+			nc[i] = col[j]
+		}
+		out.Strs[name] = nc
+	}
+	return out
+}
+
+// project keeps only the named columns.
+func (r *Relation) project(cols []string) (*Relation, error) {
+	out := NewRelation()
+	out.N = r.N
+	for _, c := range cols {
+		if ic, ok := r.Ints[c]; ok {
+			out.Ints[c] = ic
+			continue
+		}
+		if sc, ok := r.Strs[c]; ok {
+			out.Strs[c] = sc
+			continue
+		}
+		return nil, fmt.Errorf("engine: projection references missing column %q (have %s)",
+			c, strings.Join(r.ColNames(), ","))
+	}
+	return out, nil
+}
+
+// String renders a compact debug view.
+func (r *Relation) String() string {
+	return fmt.Sprintf("Relation(%d rows: %s)", r.N, strings.Join(r.ColNames(), ","))
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+
+	"raal/internal/logical"
+)
+
+func TestRelationProjectMissingColumn(t *testing.T) {
+	rel := NewRelation()
+	rel.N = 1
+	rel.Ints["a.x"] = []int64{1}
+	if _, err := rel.project([]string{"a.x", "a.ghost"}); err == nil {
+		t.Fatal("projecting a missing column should error")
+	}
+}
+
+func TestRelationGatherReorders(t *testing.T) {
+	rel := NewRelation()
+	rel.N = 3
+	rel.Ints["a.x"] = []int64{10, 20, 30}
+	rel.Strs["a.s"] = []string{"p", "q", "r"}
+	g := rel.gather([]int{2, 0, 2})
+	if g.N != 3 || g.Ints["a.x"][0] != 30 || g.Ints["a.x"][1] != 10 || g.Strs["a.s"][2] != "r" {
+		t.Fatalf("gather wrong: %v %v", g.Ints, g.Strs)
+	}
+	// Mutating the gathered copy must not touch the source.
+	g.Ints["a.x"][0] = 99
+	if rel.Ints["a.x"][2] != 30 {
+		t.Fatal("gather aliases source")
+	}
+}
+
+func TestSortRelationStable(t *testing.T) {
+	// Equal keys must preserve input order (stable sort), which keeps
+	// engine output deterministic across plans.
+	rel := NewRelation()
+	rel.N = 4
+	rel.Ints["a.k"] = []int64{2, 1, 2, 1}
+	rel.Ints["a.v"] = []int64{100, 200, 300, 400}
+	bc := logical.BoundCol{Alias: "a", Name: "k"}
+	sorted, err := sortRelation(rel, &bc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV := []int64{200, 400, 100, 300}
+	for i, v := range wantV {
+		if sorted.Ints["a.v"][i] != v {
+			t.Fatalf("unstable sort: %v", sorted.Ints["a.v"])
+		}
+	}
+	// Descending keeps stability within equal keys too.
+	desc, err := sortRelation(rel, &bc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV = []int64{100, 300, 200, 400}
+	for i, v := range wantV {
+		if desc.Ints["a.v"][i] != v {
+			t.Fatalf("unstable desc sort: %v", desc.Ints["a.v"])
+		}
+	}
+}
+
+func TestSortRelationStringKey(t *testing.T) {
+	rel := NewRelation()
+	rel.N = 3
+	rel.Strs["a.s"] = []string{"m", "a", "z"}
+	bc := logical.BoundCol{Alias: "a", Name: "s"}
+	sorted, err := sortRelation(rel, &bc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Strs["a.s"][0] != "a" || sorted.Strs["a.s"][2] != "z" {
+		t.Fatalf("string sort wrong: %v", sorted.Strs["a.s"])
+	}
+}
+
+func TestSortRelationMissingColumn(t *testing.T) {
+	rel := NewRelation()
+	rel.N = 1
+	bc := logical.BoundCol{Alias: "a", Name: "ghost"}
+	if _, err := sortRelation(rel, &bc, false); err == nil {
+		t.Fatal("sorting a missing column should error")
+	}
+}
+
+func TestHashJoinDuplicateColumnRejected(t *testing.T) {
+	left := NewRelation()
+	left.N = 1
+	left.Ints["x.k"] = []int64{1}
+	left.Ints["shared"] = []int64{5}
+	right := NewRelation()
+	right.N = 1
+	right.Ints["y.k"] = []int64{1}
+	right.Ints["shared"] = []int64{6}
+	lk := logical.BoundCol{Alias: "x", Name: "k"}
+	rk := logical.BoundCol{Alias: "y", Name: "k"}
+	if _, err := hashJoin(left, right, &lk, &rk, 1000); err == nil {
+		t.Fatal("duplicate column names across join sides should error")
+	}
+}
+
+func TestColNamesSorted(t *testing.T) {
+	rel := NewRelation()
+	rel.Ints["b.z"] = nil
+	rel.Strs["a.a"] = nil
+	rel.Ints["a.m"] = nil
+	names := rel.ColNames()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("not sorted: %v", names)
+		}
+	}
+}

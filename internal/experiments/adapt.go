@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"raal/internal/core"
+	"raal/internal/encode"
+	"raal/internal/metrics"
+	"raal/internal/sparksim"
+)
+
+// Fig8Row is the metrics of the trained model evaluated in one memory
+// environment.
+type Fig8Row struct {
+	MemGB   float64
+	Metrics metrics.Result
+}
+
+// Fig8Result reproduces Fig. 8: RAAL's adaptability across executor
+// memory sizes — metrics should stay flat as the environment changes.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 trains RAAL on the mixed-resource corpus, then re-prices the test
+// plans in clusters of each memory size and evaluates prediction quality
+// per environment.
+func Fig8(lab *Lab) (*Fig8Result, error) {
+	model, err := lab.RAALModel()
+	if err != nil {
+		return nil, err
+	}
+	return Fig8WithModel(lab, model)
+}
+
+// Fig8WithModel runs the adaptability sweep with a trained model.
+func Fig8WithModel(lab *Lab, model *core.Model) (*Fig8Result, error) {
+	sim := sparksim.New(lab.SimConfig())
+	sim.Seed = lab.Opt.Seed
+
+	out := &Fig8Result{}
+	for mem := 2; mem <= 12; mem += 2 {
+		res := sparksim.DefaultResources()
+		res.ExecMemMB = float64(mem) * 1024
+
+		// Deduplicate plans: test records may share plans across
+		// resource states; one evaluation per plan per environment.
+		seen := map[any]bool{}
+		var samples []*encode.Sample
+		for _, rec := range lab.TestRecs {
+			if seen[rec.Plan] {
+				continue
+			}
+			seen[rec.Plan] = true
+			actual, err := sim.Estimate(rec.Plan, res)
+			if err != nil {
+				return nil, err
+			}
+			s := lab.Enc.EncodePlan(rec.Plan, res)
+			s.CostSec = actual
+			samples = append(samples, s)
+		}
+		m, err := model.Evaluate(samples)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Fig8Row{MemGB: float64(mem), Metrics: m})
+	}
+	return out, nil
+}
+
+// Print renders the per-environment metrics.
+func (r *Fig8Result) Print(w io.Writer) {
+	fprintf(w, "Fig 8: RAAL adaptability across executor memory sizes\n")
+	fprintf(w, "%-8s %10s %10s %10s %10s\n", "memory", "RE", "MSE", "COR", "R2")
+	for _, row := range r.Rows {
+		m := row.Metrics
+		fprintf(w, "%6.0fGB %10.4f %10.4f %10.4f %10.4f\n", row.MemGB, m.RE, m.MSE, m.COR, m.R2)
+	}
+}
+
+// Table8Row is one training-set size level.
+type Table8Row struct {
+	TrainSize int
+	TrainSec  float64
+	TestRE    float64
+	TestMSE   float64
+}
+
+// Table8Result reproduces Table VIII: training time and test error as a
+// function of training-set size.
+type Table8Result struct {
+	Rows []Table8Row
+}
+
+// Table8 trains RAAL on growing prefixes of the training split.
+func Table8(lab *Lab) (*Table8Result, error) {
+	out := &Table8Result{}
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, f := range fracs {
+		n := int(float64(len(lab.TrainSamples)) * f)
+		if n < 10 {
+			continue
+		}
+		subset := lab.TrainSamples[:n]
+		start := time.Now()
+		model, _, err := core.Train(subset, core.RAAL(), lab.ModelConfig(), lab.TrainConfig())
+		if err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		m, err := model.Evaluate(lab.TestSamples)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table8Row{
+			TrainSize: n, TrainSec: dur.Seconds(), TestRE: m.RE, TestMSE: m.MSE,
+		})
+	}
+	return out, nil
+}
+
+// Print renders the scaling table.
+func (r *Table8Result) Print(w io.Writer) {
+	fprintf(w, "Table VIII: training time and test error vs training-set size\n")
+	fprintf(w, "%-10s %12s %10s %10s\n", "samples", "train(s)", "RE", "MSE")
+	for _, row := range r.Rows {
+		fprintf(w, "%-10d %12.1f %10.4f %10.4f\n", row.TrainSize, row.TrainSec, row.TestRE, row.TestMSE)
+	}
+}

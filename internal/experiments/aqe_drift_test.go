@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestAQEThreeWayComparison(t *testing.T) {
+	lab := quickLab(t)
+	r, err := AQE(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 20 {
+		t.Fatalf("want 20 queries, got %d", len(r.Rows))
+	}
+	d, a, m := r.Totals()
+	if d <= 0 || a <= 0 || m <= 0 {
+		t.Fatalf("non-positive totals: %v %v %v", d, a, m)
+	}
+	// AQE corrects mis-sized joins, so in aggregate it should not lose
+	// badly to the static default.
+	if a > d*1.2 {
+		t.Fatalf("AQE total %.1f much worse than default %.1f", a, d)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestDriftAndRetrain(t *testing.T) {
+	opt := QuickOptions()
+	opt.NumQueries = 80
+	opt.Epochs = 15
+	r, err := Drift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]float64{
+		"before": r.Before.MSE, "drifted": r.Drifted.MSE, "retrained": r.Retrained.MSE,
+	} {
+		if math.IsNaN(m) || m < 0 {
+			t.Fatalf("%s MSE invalid: %v", name, m)
+		}
+	}
+	// The drifted evaluation re-prices the exact same records, so MSE is
+	// directly comparable: migration must hurt, retraining must recover.
+	if r.Drifted.MSE <= r.Before.MSE {
+		t.Fatalf("cluster migration should increase error: before %v, drifted %v",
+			r.Before, r.Drifted)
+	}
+	if r.Retrained.MSE >= r.Drifted.MSE {
+		t.Fatalf("incremental fit should reduce error: %v vs %v", r.Retrained.MSE, r.Drifted.MSE)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

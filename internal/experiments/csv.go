@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSVer is implemented by results whose figure data can be exported for
+// plotting.
+type CSVer interface {
+	CSV(w io.Writer) error
+}
+
+// CSV writes Fig. 1 as query,default_sec,tuned_sec rows.
+func (r *Fig1Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "default_sec", "tuned_sec"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.Query), ftoa(row.DefaultSec), ftoa(row.TunedSec),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes Fig. 2 as query,plan,mem_gb,cost_sec rows.
+func (r *Fig2Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "plan", "mem_gb", "cost_sec"}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			p.Query, strconv.Itoa(p.PlanID), ftoa(p.MemGB), ftoa(p.Sec),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes the Fig. 6 loss curves as model,epoch,loss rows.
+func (r *AblationResult) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "epoch", "loss"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(r.Curves))
+	for n := range r.Curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for epoch, loss := range r.Curves[name] {
+			if err := cw.Write([]string{name, strconv.Itoa(epoch + 1), ftoa(loss)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes Fig. 7 as actual,est_with_res,est_without_res rows.
+func (r *Fig7Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"actual_sec", "est_with_res", "est_without_res"}); err != nil {
+		return err
+	}
+	for i := range r.WithRes {
+		if err := cw.Write([]string{
+			ftoa(r.WithRes[i].Actual), ftoa(r.WithRes[i].Estimated), ftoa(r.WithoutRes[i].Estimated),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes Fig. 8 as mem_gb,re,mse,cor,r2 rows.
+func (r *Fig8Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"mem_gb", "re", "mse", "cor", "r2"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		m := row.Metrics
+		if err := cw.Write([]string{
+			ftoa(row.MemGB), ftoa(m.RE), ftoa(m.MSE), ftoa(m.COR), ftoa(m.R2),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes Table VIII as train_size,train_sec,re,mse rows.
+func (r *Table8Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"train_size", "train_sec", "re", "mse"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.TrainSize), ftoa(row.TrainSec), ftoa(row.TestRE), ftoa(row.TestMSE),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV writes the simulator ablation as config,mem_gb,cost_sec rows.
+func (r *SimAblationResult) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "mem_gb", "cost_sec"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for mem := 1; mem <= 12; mem++ {
+			if err := cw.Write([]string{row.Config, strconv.Itoa(mem), ftoa(row.CostAt[mem])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestFig2CSV(t *testing.T) {
+	r, err := Fig2(0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(r.Points)+1 {
+		t.Fatalf("csv rows %d, want %d", len(rows), len(r.Points)+1)
+	}
+	if strings.Join(rows[0], ",") != "query,plan,mem_gb,cost_sec" {
+		t.Fatalf("header: %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if len(row) != 4 {
+			t.Fatalf("bad row %v", row)
+		}
+	}
+}
+
+func TestSimAblationCSV(t *testing.T) {
+	lab := quickLab(t)
+	r, err := SimAblation(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 configs × 12 memory sizes + header.
+	if len(rows) != 3*12+1 {
+		t.Fatalf("csv rows %d", len(rows))
+	}
+}
+
+func TestAblationCSVCurves(t *testing.T) {
+	lab := quickLab(t)
+	r, err := Ablation(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4*lab.Opt.Epochs + 1
+	if len(rows) != want {
+		t.Fatalf("csv rows %d, want %d", len(rows), want)
+	}
+}

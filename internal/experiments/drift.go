@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"io"
+
+	"raal/internal/encode"
+	"raal/internal/metrics"
+	"raal/internal/sparksim"
+	"raal/internal/workload"
+)
+
+// DriftResult demonstrates the paper's maintainability claim ("learnable
+// cost models can easily be updated regularly and adapted to different
+// clusters"): after a cluster migration — different CPU generation, GC
+// behavior, and cache efficiency — a stale model's error jumps, and a
+// short incremental fit on records from the new cluster recovers it.
+//
+// Note that *data growth* alone barely hurts the model: node features and
+// labels are both log-scaled, so volume changes move them coherently. A
+// hardware change breaks the learned mapping itself, which is the
+// interesting drift.
+type DriftResult struct {
+	Before    metrics.Result // on the original cluster
+	Drifted   metrics.Result // stale model on the migrated cluster
+	Retrained metrics.Result // after incremental fitting on fresh records
+	FreshN    int            // records used for the incremental fit
+}
+
+// migratedCluster returns the simulator calibration of the "new" cluster:
+// slower per-row CPU (older boxes), heavier GC, and a less effective
+// cache tier.
+func migratedCluster() sparksim.Config {
+	c := sparksim.DefaultConfig()
+	c.ScanNsPerRow *= 3
+	c.AggNsPerRow *= 3
+	c.HashProbeNsPerRow *= 3
+	c.MergeNsPerRow *= 3
+	c.SortNsPerRow *= 3
+	c.GCCoefPerGB *= 3
+	c.CacheFraction *= 0.4
+	return c
+}
+
+// Drift trains on the lab's benchmark, migrates the cluster, and measures
+// the stale model before and after incremental retraining. The migrated
+// evaluation re-prices exactly the lab's test records on the new cluster,
+// so before/after differ only in the cost function — a clean comparison.
+func Drift(opt Options) (*DriftResult, error) {
+	opt = opt.withDefaults()
+	lab, err := NewLab(opt)
+	if err != nil {
+		return nil, err
+	}
+	model, err := lab.RAALModel()
+	if err != nil {
+		return nil, err
+	}
+	out := &DriftResult{}
+	if out.Before, err = model.Evaluate(lab.TestSamples); err != nil {
+		return nil, err
+	}
+
+	// Re-price the same records on the migrated cluster.
+	sim := sparksim.New(migratedCluster())
+	sim.Seed = opt.Seed
+	reprice := func(recs []workload.Record) ([]*encode.Sample, error) {
+		samples := make([]*encode.Sample, len(recs))
+		for i, r := range recs {
+			cost, err := sim.Estimate(r.Plan, r.Res)
+			if err != nil {
+				return nil, err
+			}
+			s := lab.Enc.EncodePlan(r.Plan, r.Res)
+			s.CostSec = cost
+			samples[i] = s
+		}
+		return samples, nil
+	}
+	testSamples, err := reprice(lab.TestRecs)
+	if err != nil {
+		return nil, err
+	}
+	if out.Drifted, err = model.Evaluate(testSamples); err != nil {
+		return nil, err
+	}
+
+	// Incremental update: continue training the same weights on a 20%
+	// slice of fresh records for a fraction of the original epochs.
+	n := len(lab.TrainRecs) / 5
+	if n < 10 {
+		n = len(lab.TrainRecs)
+	}
+	trainSamples, err := reprice(lab.TrainRecs[:n])
+	if err != nil {
+		return nil, err
+	}
+	tc := lab.TrainConfig()
+	tc.Epochs = maxInt(3, tc.Epochs/3)
+	out.FreshN = len(trainSamples)
+	if _, err := model.Fit(trainSamples, tc); err != nil {
+		return nil, err
+	}
+	if out.Retrained, err = model.Evaluate(testSamples); err != nil {
+		return nil, err
+	}
+	// The cached model has been mutated by the incremental fit; drop it
+	// so later experiments on this lab retrain from scratch.
+	lab.raalModel = nil
+	return out, nil
+}
+
+// Print renders the drift study.
+func (r *DriftResult) Print(w io.Writer) {
+	fprintf(w, "Cluster drift: hardware migration, then incremental retraining\n")
+	fprintf(w, "%-28s %10s %10s %10s %10s\n", "phase", "RE", "MSE", "COR", "R2")
+	row := func(name string, m metrics.Result) {
+		fprintf(w, "%-28s %10.4f %10.4f %10.4f %10.4f\n", name, m.RE, m.MSE, m.COR, m.R2)
+	}
+	row("original cluster", r.Before)
+	row("migrated cluster (stale)", r.Drifted)
+	row("after incremental fit", r.Retrained)
+	fprintf(w, "(incremental fit on %d fresh records)\n", r.FreshN)
+}

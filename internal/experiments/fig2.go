@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"raal/internal/cardest"
+	"raal/internal/catalog"
+	"raal/internal/datagen"
+	"raal/internal/engine"
+	"raal/internal/logical"
+	"raal/internal/physical"
+	"raal/internal/sparksim"
+	"raal/internal/sql"
+)
+
+// Fig2Point is one (query, plan, memory) cost measurement.
+type Fig2Point struct {
+	Query  string
+	PlanID int
+	MemGB  float64
+	Sec    float64
+}
+
+// Fig2Result reproduces Fig. 2: the impact of executor memory on the cost
+// of each candidate plan for the paper's four Sec.-III queries.
+type Fig2Result struct {
+	Queries []string
+	Points  []Fig2Point
+}
+
+// Fig2Queries returns the paper's four representative queries, with
+// literals adapted to the synthetic IMDB's value ranges: (1) single-table,
+// (2) two-table SMJ-favoring, (3) two-table BHJ-favoring, (4) three-table.
+func Fig2Queries(db *catalog.Database) []string {
+	mk, _ := db.Table("movie_keyword")
+	kwMax := maxOf(mk.IntCol("keyword_id"))
+	mc, _ := db.Table("movie_companies")
+	coMax := maxOf(mc.IntCol("company_id"))
+	return []string{
+		fmt.Sprintf(`SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < %d`, kwMax*4/5),
+		fmt.Sprintf(`SELECT COUNT(*) FROM title t, movie_companies mc
+			WHERE t.id = mc.movie_id AND mc.company_id < %d AND mc.company_type_id > 1`, coMax*9/10),
+		`SELECT COUNT(*) FROM title t, movie_info_idx mi_idx
+			WHERE t.id = mi_idx.movie_id AND t.kind_id < 7 AND t.production_year > 1961
+			AND mi_idx.info_type_id < 101`,
+		fmt.Sprintf(`SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+			WHERE t.id = mc.movie_id AND t.id = mk.movie_id
+			AND mc.company_id = %d AND mk.keyword_id < %d`, coMax/100+1, kwMax/3),
+	}
+}
+
+func maxOf(vals []int64) int64 {
+	var m int64
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Fig2 evaluates the first three physical plans of each query under
+// executor memories of 1–8 GB (2 executors × 2 cores, as in the paper).
+func Fig2(scale float64, seed int64) (*Fig2Result, error) {
+	db := datagen.IMDB(scale, seed)
+	est, err := cardest.New(db, 32, 16)
+	if err != nil {
+		return nil, err
+	}
+	planner := physical.NewPlanner(est)
+	binder := logical.NewBinder(db)
+	eng := engine.New(db)
+	sim := sparksim.New(sparksim.DefaultConfig())
+	sim.Seed = seed
+
+	out := &Fig2Result{Queries: Fig2Queries(db)}
+	for qi, qs := range out.Queries {
+		stmt, err := sql.Parse(qs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 query %d: %w", qi+1, err)
+		}
+		bound, err := binder.Bind(stmt)
+		if err != nil {
+			return nil, err
+		}
+		plans, err := planner.Enumerate(bound)
+		if err != nil {
+			return nil, err
+		}
+		if len(plans) > 3 {
+			plans = plans[:3]
+		}
+		for _, p := range plans {
+			if _, err := eng.Run(p); err != nil {
+				return nil, fmt.Errorf("experiments: fig2 query %d: %w", qi+1, err)
+			}
+		}
+		for pi, p := range plans {
+			for mem := 1; mem <= 8; mem++ {
+				res := sparksim.DefaultResources()
+				res.ExecMemMB = float64(mem) * 1024
+				sec, err := sim.Estimate(p, res)
+				if err != nil {
+					return nil, err
+				}
+				out.Points = append(out.Points, Fig2Point{
+					Query: fmt.Sprintf("q%d", qi+1), PlanID: pi + 1, MemGB: float64(mem), Sec: sec,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// OptimalPlanChanges reports, per query, whether the cheapest plan differs
+// across memory sizes — the paper's headline Sec.-III observation.
+func (r *Fig2Result) OptimalPlanChanges() map[string]bool {
+	type key struct {
+		q   string
+		mem float64
+	}
+	best := map[key]int{}
+	bestCost := map[key]float64{}
+	queries := map[string]bool{}
+	for _, p := range r.Points {
+		k := key{p.Query, p.MemGB}
+		if c, ok := bestCost[k]; !ok || p.Sec < c {
+			bestCost[k] = p.Sec
+			best[k] = p.PlanID
+		}
+		queries[p.Query] = true
+	}
+	out := map[string]bool{}
+	for q := range queries {
+		winners := map[int]bool{}
+		for mem := 1; mem <= 8; mem++ {
+			if plan, ok := best[key{q, float64(mem)}]; ok {
+				winners[plan] = true
+			}
+		}
+		out[q] = len(winners) > 1
+	}
+	return out
+}
+
+// Print renders one series per (query, plan).
+func (r *Fig2Result) Print(w io.Writer) {
+	fprintf(w, "Fig 2: plan cost (seconds) vs executor memory (GB), 2 executors x 2 cores\n")
+	fprintf(w, "%-10s", "series")
+	for mem := 1; mem <= 8; mem++ {
+		fprintf(w, " %8dGB", mem)
+	}
+	fprintf(w, "\n")
+	series := map[string][]float64{}
+	var order []string
+	for _, p := range r.Points {
+		k := fmt.Sprintf("%s/plan%d", p.Query, p.PlanID)
+		if _, ok := series[k]; !ok {
+			order = append(order, k)
+		}
+		series[k] = append(series[k], p.Sec)
+	}
+	for _, k := range order {
+		fprintf(w, "%-10s", k)
+		for _, v := range series[k] {
+			fprintf(w, " %10.2f", v)
+		}
+		fprintf(w, "\n")
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestQErrorByJoinDepth(t *testing.T) {
+	lab := quickLab(t)
+	r, err := QError(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no join depths analyzed")
+	}
+	for _, row := range r.Rows {
+		if row.Median < 1 || row.P90 < row.Median || row.Max < row.P90 {
+			t.Fatalf("quantiles inconsistent: %+v", row)
+		}
+		if row.Plans == 0 {
+			t.Fatalf("depth %d has no plans", row.Joins)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+
+	"raal/internal/core"
+	"raal/internal/encode"
+	"raal/internal/metrics"
+	"raal/internal/workload"
+)
+
+// TransferResult explores the paper's stated future work (Sec. VI):
+// cold-start cost estimation on a newly loaded dataset without training a
+// new model. We train RAAL on IMDB, apply it zero-shot to TPC-H (re-using
+// the IMDB-fitted word2vec encoder, whose OOV handling absorbs unseen
+// tables), then fine-tune on a small TPC-H slice.
+type TransferResult struct {
+	Native    metrics.Result // RAAL trained on TPC-H, the ceiling
+	ZeroShot  metrics.Result // IMDB-trained RAAL applied to TPC-H cold
+	FineTuned metrics.Result // + a few epochs on 20% of TPC-H data
+	FineTuneN int            // fine-tuning sample count
+}
+
+// Transfer runs the cold-start study at the given options (Bench is
+// ignored: the source is always IMDB and the target TPC-H).
+func Transfer(opt Options) (*TransferResult, error) {
+	opt = opt.withDefaults()
+
+	srcOpt := opt
+	srcOpt.Bench = "imdb"
+	src, err := NewLab(srcOpt)
+	if err != nil {
+		return nil, err
+	}
+	dstOpt := opt
+	dstOpt.Bench = "tpch"
+	dstOpt.Seed = opt.Seed + 50
+	dst, err := NewLab(dstOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &TransferResult{}
+
+	// Ceiling: a TPC-H-native model.
+	nativeModel, err := dst.RAALModel()
+	if err != nil {
+		return nil, err
+	}
+	if out.Native, err = nativeModel.Evaluate(dst.TestSamples); err != nil {
+		return nil, err
+	}
+
+	// Zero-shot: IMDB-trained model, IMDB-fitted encoder, TPC-H plans.
+	srcModel, err := src.RAALModel()
+	if err != nil {
+		return nil, err
+	}
+	encodeWithSrc := func(recs []workload.Record) []*encode.Sample {
+		outS := make([]*encode.Sample, len(recs))
+		for i, r := range recs {
+			s := src.Enc.EncodePlan(r.Plan, r.Res)
+			s.CostSec = r.CostSec
+			outS[i] = s
+		}
+		return outS
+	}
+	dstTest := encodeWithSrc(dst.TestRecs)
+	if out.ZeroShot, err = srcModel.Evaluate(dstTest); err != nil {
+		return nil, err
+	}
+
+	// Fine-tune a copy of the source model on 20% of TPC-H training data.
+	ftModel := cloneModel(srcModel)
+	n := len(dst.TrainRecs) / 5
+	if n < 10 {
+		n = len(dst.TrainRecs)
+	}
+	ftTrain := encodeWithSrc(dst.TrainRecs[:n])
+	tc := src.TrainConfig()
+	tc.Epochs = maxInt(3, tc.Epochs/3)
+	if _, err := ftModel.Fit(ftTrain, tc); err != nil {
+		return nil, err
+	}
+	out.FineTuneN = n
+	if out.FineTuned, err = ftModel.Evaluate(dstTest); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// cloneModel deep-copies a model through its serialization.
+func cloneModel(m *core.Model) *core.Model {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		panic(err) // in-memory serialization of a valid model cannot fail
+	}
+	clone, err := core.LoadModel(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return clone
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Print renders the three-way comparison.
+func (r *TransferResult) Print(w io.Writer) {
+	fprintf(w, "Cold-start transfer: IMDB-trained RAAL applied to TPC-H\n")
+	fprintf(w, "%-24s %10s %10s %10s %10s\n", "setting", "RE", "MSE", "COR", "R2")
+	row := func(name string, m metrics.Result) {
+		fprintf(w, "%-24s %10.4f %10.4f %10.4f %10.4f\n", name, m.RE, m.MSE, m.COR, m.R2)
+	}
+	row("zero-shot (cold)", r.ZeroShot)
+	row("fine-tuned", r.FineTuned)
+	row("native (ceiling)", r.Native)
+	fprintf(w, "(fine-tuned on %d target samples)\n", r.FineTuneN)
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestTransferColdStart(t *testing.T) {
+	opt := QuickOptions()
+	opt.NumQueries = 40
+	opt.Epochs = 6
+	r, err := Transfer(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]float64{
+		"native":    r.Native.MSE,
+		"zero-shot": r.ZeroShot.MSE,
+		"fine-tune": r.FineTuned.MSE,
+	} {
+		if math.IsNaN(m) || m < 0 {
+			t.Fatalf("%s MSE invalid: %v", name, m)
+		}
+	}
+	if r.FineTuneN <= 0 {
+		t.Fatal("fine-tuning set empty")
+	}
+	// Fine-tuning on target data must not be worse than zero-shot by a
+	// wide margin (it starts from the zero-shot weights).
+	if r.FineTuned.MSE > r.ZeroShot.MSE*1.5 {
+		t.Fatalf("fine-tuning regressed badly: %v vs %v", r.FineTuned.MSE, r.ZeroShot.MSE)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectPrediction(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	r, err := Evaluate(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RE != 0 || r.MSE != 0 {
+		t.Fatalf("perfect prediction should have zero error: %v", r)
+	}
+	if math.Abs(r.COR-1) > 1e-12 || math.Abs(r.R2-1) > 1e-12 {
+		t.Fatalf("perfect prediction should have COR=R2=1: %v", r)
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	actual := []float64{2, 4}
+	est := []float64{1, 5}
+	// RE = (|2-1|/2 + |4-5|/4)/2 = (0.5+0.25)/2 = 0.375
+	if re := RelativeError(actual, est); math.Abs(re-0.375) > 1e-12 {
+		t.Fatalf("RE = %v", re)
+	}
+	// MSE = (1+1)/2 = 1
+	if m := MSE(actual, est); m != 1 {
+		t.Fatalf("MSE = %v", m)
+	}
+}
+
+func TestCorrelationInvariantToScale(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64() * 100
+			b[i] = a[i]*3 + 7 + rng.NormFloat64()
+		}
+		c1 := Correlation(a, b)
+		scaled := make([]float64, n)
+		for i := range b {
+			scaled[i] = b[i]*10 - 50
+		}
+		c2 := Correlation(a, scaled)
+		return math.Abs(c1-c2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelationRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		c := Correlation(a, b)
+		return c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if c := Correlation(a, b); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("COR = %v, want -1", c)
+	}
+}
+
+func TestConstantSeriesCorrelationZero(t *testing.T) {
+	if c := Correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); c != 0 {
+		t.Fatalf("constant actual should give COR 0, got %v", c)
+	}
+}
+
+func TestR2MeanPredictorIsZero(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	est := []float64{3, 3, 3, 3, 3}
+	if r := R2(a, est); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean predictor R2 = %v, want 0", r)
+	}
+}
+
+func TestR2WorseThanMeanIsNegative(t *testing.T) {
+	a := []float64{1, 2, 3}
+	est := []float64{30, -10, 99}
+	if r := R2(a, est); r >= 0 {
+		t.Fatalf("terrible predictor R2 = %v, want negative", r)
+	}
+}
+
+func TestRESkipsZeroActuals(t *testing.T) {
+	if re := RelativeError([]float64{0, 2}, []float64{5, 3}); math.Abs(re-0.5) > 1e-12 {
+		t.Fatalf("RE = %v, want 0.5", re)
+	}
+}
+
+func TestQError(t *testing.T) {
+	// q-errors: max(4/2,...) = 2 and max(9/3) = 3 → mean 2.5
+	q := QErrorMean([]float64{2, 9}, []float64{4, 3})
+	if math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("QError = %v", q)
+	}
+	if q := QErrorMean([]float64{0}, []float64{1}); q != 0 {
+		t.Fatalf("all-skipped QError = %v", q)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, nil); err == nil {
+		t.Fatal("empty slices should error")
+	}
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestBetterModelScoresBetterOnAllMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	actual := make([]float64, n)
+	good := make([]float64, n)
+	bad := make([]float64, n)
+	for i := range actual {
+		actual[i] = 10 + rng.Float64()*90
+		good[i] = actual[i] * (1 + rng.NormFloat64()*0.05)
+		bad[i] = actual[i] * (1 + rng.NormFloat64()*0.5)
+	}
+	rg, _ := Evaluate(actual, good)
+	rb, _ := Evaluate(actual, bad)
+	if rg.RE >= rb.RE || rg.MSE >= rb.MSE {
+		t.Fatalf("good model should have lower errors: %v vs %v", rg, rb)
+	}
+	if rg.COR <= rb.COR || rg.R2 <= rb.R2 {
+		t.Fatalf("good model should have higher fit: %v vs %v", rg, rb)
+	}
+}

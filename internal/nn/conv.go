@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+
+	"raal/internal/autodiff"
+	"raal/internal/tensor"
+)
+
+// Conv1D is a one-dimensional convolution over a sequence of feature rows.
+// It backs the RAAC ablation (Sec. V-B), where the paper replaces RAAL's
+// LSTM plan-feature layer with a CNN.
+//
+// Input is an L×in matrix (one row per plan node); output is L×filters with
+// "same" zero padding, so downstream attention layers see one row per node
+// regardless of which plan-feature layer produced it.
+type Conv1D struct {
+	In, Filters, Width int
+	W                  *Param // (Width·In)×Filters
+	B                  *Param // 1×Filters
+	Act                Activation
+}
+
+// NewConv1D returns a Conv1D layer with an odd kernel width (so "same"
+// padding is symmetric) and Xavier-initialized weights.
+func NewConv1D(name string, in, filters, width int, act Activation, rng *rand.Rand) *Conv1D {
+	if width%2 == 0 {
+		panic("nn: Conv1D kernel width must be odd")
+	}
+	return &Conv1D{
+		In:      in,
+		Filters: filters,
+		Width:   width,
+		W:       NewParam(name+".W", Xavier(width*in, filters, rng)),
+		B:       NewParam(name+".b", tensor.New(1, filters)),
+		Act:     act,
+	}
+}
+
+// Forward convolves the L×in input and returns L×filters. The receptive
+// field of each output row is the Width rows centred on it, with zero
+// padding at the sequence boundaries.
+func (c *Conv1D) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
+	l := x.Value.Rows
+	half := c.Width / 2
+	zero := tp.Const(tensor.New(1, c.In))
+	// im2col: each output position gathers its window into one row.
+	rows := make([]*autodiff.Var, l)
+	for pos := 0; pos < l; pos++ {
+		window := make([]*autodiff.Var, c.Width)
+		for k := 0; k < c.Width; k++ {
+			src := pos + k - half
+			if src < 0 || src >= l {
+				window[k] = zero
+			} else {
+				window[k] = tp.RowAt(x, src)
+			}
+		}
+		rows[pos] = tp.ConcatCols(window...)
+	}
+	cols := tp.ConcatRows(rows...)
+	return applyActivation(tp, tp.AddRow(tp.MatMul(cols, c.W.Var), c.B.Var), c.Act)
+}
+
+// Params returns the layer's trainable parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }

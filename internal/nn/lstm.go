@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math/rand"
+
+	"raal/internal/autodiff"
+	"raal/internal/tensor"
+)
+
+// LSTM is a single-layer Long Short-Term Memory network. It is the plan
+// feature layer of the paper's RAAL model (Sec. IV-D, Eqs. 2-7): at each
+// step the gates are computed from the current input and the previous
+// hidden state, the cell state carries long-range information, and the
+// hidden state is the layer's output.
+//
+// Weights are packed per gate in the order [input, forget, cell, output]:
+// Wx is in×4h, Wh is h×4h, and B is 1×4h.
+type LSTM struct {
+	In, Hidden int
+	Wx, Wh, B  *Param
+}
+
+// NewLSTM returns an LSTM with Xavier-initialized weights and the
+// customary +1 forget-gate bias, which keeps early training stable.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	b := tensor.New(1, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Data[j] = 1 // forget gate bias
+	}
+	return &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(name+".Wx", Xavier(in, 4*hidden, rng)),
+		Wh:     NewParam(name+".Wh", Xavier(hidden, 4*hidden, rng)),
+		B:      NewParam(name+".b", b),
+	}
+}
+
+// State carries the recurrent hidden and cell activations (batch×hidden).
+type State struct {
+	H, C *autodiff.Var
+}
+
+// ZeroState returns an all-zero initial state for the given batch size.
+func (l *LSTM) ZeroState(tp *autodiff.Tape, batch int) State {
+	return State{
+		H: tp.Const(tensor.New(batch, l.Hidden)),
+		C: tp.Const(tensor.New(batch, l.Hidden)),
+	}
+}
+
+// Step advances the recurrence one timestep with input x (batch×in).
+func (l *LSTM) Step(tp *autodiff.Tape, x *autodiff.Var, s State) State {
+	gates := tp.AddRow(tp.Add(tp.MatMul(x, l.Wx.Var), tp.MatMul(s.H, l.Wh.Var)), l.B.Var)
+	h := l.Hidden
+	i := tp.Sigmoid(tp.SliceCols(gates, 0, h))
+	f := tp.Sigmoid(tp.SliceCols(gates, h, 2*h))
+	g := tp.Tanh(tp.SliceCols(gates, 2*h, 3*h))
+	o := tp.Sigmoid(tp.SliceCols(gates, 3*h, 4*h))
+	c := tp.Add(tp.Mul(f, s.C), tp.Mul(i, g))
+	return State{H: tp.Mul(o, tp.Tanh(c)), C: c}
+}
+
+// Forward runs the recurrence over a sequence of batch×in inputs and
+// returns the hidden state after each step.
+func (l *LSTM) Forward(tp *autodiff.Tape, xs []*autodiff.Var) []*autodiff.Var {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := l.ZeroState(tp, xs[0].Value.Rows)
+	hs := make([]*autodiff.Var, len(xs))
+	for t, x := range xs {
+		s = l.Step(tp, x, s)
+		hs[t] = s.H
+	}
+	return hs
+}
+
+// Params returns the LSTM's trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math"
+
+	"raal/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients and then
+// clears the gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*Param]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*tensor.Matrix)}
+}
+
+// Step applies one SGD update and zeroes the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Var.Grad
+		if g == nil {
+			continue
+		}
+		w := p.Var.Value
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(w.Rows, w.Cols)
+				s.velocity[p] = v
+			}
+			for i := range w.Data {
+				v.Data[i] = s.Momentum*v.Data[i] - s.LR*g.Data[i]
+				w.Data[i] += v.Data[i]
+			}
+		} else {
+			for i := range w.Data {
+				w.Data[i] -= s.LR * g.Data[i]
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015), the paper's
+// training algorithm of choice for all learned cost models.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults for any zero
+// hyperparameter (lr=0.001, β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	if lr == 0 {
+		lr = 1e-3
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Matrix),
+		v: make(map[*Param]*tensor.Matrix),
+	}
+}
+
+// Step applies one Adam update and zeroes the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		g := p.Var.Grad
+		if g == nil {
+			continue
+		}
+		w := p.Var.Value
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(w.Rows, w.Cols)
+			a.m[p] = m
+			a.v[p] = tensor.New(w.Rows, w.Cols)
+		}
+		v := a.v[p]
+		for i := range w.Data {
+			gi := g.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*gi
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*gi*gi
+			mh := m.Data[i] / c1
+			vh := v.Data[i] / c2
+			w.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

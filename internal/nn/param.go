@@ -1,0 +1,105 @@
+// Package nn builds neural-network layers, optimizers, and model
+// serialization on top of the autodiff engine. It provides exactly the
+// building blocks the paper's deep cost models need: dense layers, an LSTM
+// (the plan-feature layer), a 1-D convolution (the RAAC ablation), and Adam.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"raal/internal/autodiff"
+	"raal/internal/tensor"
+)
+
+// Param is a named trainable matrix. The embedded Var keeps its identity
+// across forward passes so gradients accumulate into one place and the
+// optimizer can find them.
+type Param struct {
+	Name string
+	Var  *autodiff.Var
+}
+
+// NewParam wraps m as a trainable parameter.
+func NewParam(name string, m *tensor.Matrix) *Param {
+	return &Param{Name: name, Var: (&autodiff.Tape{}).Param(m)}
+}
+
+// Value returns the parameter's current weights.
+func (p *Param) Value() *tensor.Matrix { return p.Var.Value }
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	if p.Var.Grad != nil {
+		p.Var.Grad.Zero()
+	}
+}
+
+// Xavier returns Glorot-uniform initialized weights for a fanIn×fanOut
+// matrix.
+func Xavier(fanIn, fanOut int, rng *rand.Rand) *tensor.Matrix {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return tensor.Uniform(fanIn, fanOut, -limit, limit, rng)
+}
+
+// ClipGradNorm rescales all parameter gradients so their global L2 norm is
+// at most maxNorm. It returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Var.Grad == nil {
+			continue
+		}
+		for _, g := range p.Var.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, p := range params {
+			if p.Var.Grad == nil {
+				continue
+			}
+			for i := range p.Var.Grad.Data {
+				p.Var.Grad.Data[i] *= s
+			}
+		}
+	}
+	return norm
+}
+
+// GradNorm returns the global L2 norm of all parameter gradients.
+func GradNorm(params []*Param) float64 {
+	var sq float64
+	for _, p := range params {
+		if p.Var.Grad == nil {
+			continue
+		}
+		for _, g := range p.Var.Grad.Data {
+			sq += g * g
+		}
+	}
+	return math.Sqrt(sq)
+}
+
+// CountParams returns the total number of scalar weights.
+func CountParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += len(p.Var.Value.Data)
+	}
+	return n
+}
+
+func checkUniqueNames(params []*Param) error {
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}

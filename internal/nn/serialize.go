@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk representation of a parameter set.
+type snapshot struct {
+	Names  []string
+	Rows   []int
+	Cols   []int
+	Values [][]float64
+}
+
+// Save writes the parameters to w in gob format. Parameter names must be
+// unique; they are the keys used by Load.
+func Save(w io.Writer, params []*Param) error {
+	if err := checkUniqueNames(params); err != nil {
+		return err
+	}
+	var s snapshot
+	for _, p := range params {
+		s.Names = append(s.Names, p.Name)
+		s.Rows = append(s.Rows, p.Var.Value.Rows)
+		s.Cols = append(s.Cols, p.Var.Value.Cols)
+		vals := make([]float64, len(p.Var.Value.Data))
+		copy(vals, p.Var.Value.Data)
+		s.Values = append(s.Values, vals)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reads a parameter snapshot from r and copies the stored weights into
+// the matching (by name) parameters. Every parameter in params must be
+// present in the snapshot with identical shape.
+func Load(r io.Reader, params []*Param) error {
+	if err := checkUniqueNames(params); err != nil {
+		return err
+	}
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decoding snapshot: %w", err)
+	}
+	byName := make(map[string]int, len(s.Names))
+	for i, n := range s.Names {
+		byName[n] = i
+	}
+	for _, p := range params {
+		i, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot is missing parameter %q", p.Name)
+		}
+		v := p.Var.Value
+		if s.Rows[i] != v.Rows || s.Cols[i] != v.Cols {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, snapshot has %dx%d",
+				p.Name, v.Rows, v.Cols, s.Rows[i], s.Cols[i])
+		}
+		copy(v.Data, s.Values[i])
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package physical
+
+import (
+	"testing"
+)
+
+func TestReoptimizeSMJToBHJ(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM title t, movie_companies mc
+		WHERE t.id = mc.movie_id AND mc.company_id < 20`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smj *Plan
+	for _, p := range plans {
+		if p.CountOp(SortMergeJoin) == 1 {
+			smj = p
+		}
+	}
+	if smj == nil {
+		t.Fatal("no SMJ plan")
+	}
+	// Pretend the build side came out tiny at runtime.
+	for _, n := range smj.Nodes {
+		n.ActRows = 10
+	}
+	re, switched := Reoptimize(smj, 10<<20)
+	if switched != 1 {
+		t.Fatalf("switched = %d, want 1", switched)
+	}
+	if re.CountOp(BroadcastHashJoin) != 1 || re.CountOp(SortMergeJoin) != 0 {
+		t.Fatalf("AQE should convert SMJ to BHJ:\n%s", re)
+	}
+	if re.CountOp(Sort) != 0 || re.CountOp(ExchangeHashPartition) != 0 {
+		t.Fatalf("converted plan should drop shuffle sorts:\n%s", re)
+	}
+	// Original untouched.
+	if smj.CountOp(SortMergeJoin) != 1 {
+		t.Fatal("input plan was mutated")
+	}
+}
+
+func TestReoptimizeBHJToSMJ(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bhj *Plan
+	for _, p := range plans {
+		if p.CountOp(BroadcastHashJoin) == 1 {
+			bhj = p
+			break
+		}
+	}
+	if bhj == nil {
+		t.Fatal("no BHJ plan")
+	}
+	// Pretend the broadcast side exploded at runtime.
+	for _, n := range bhj.Nodes {
+		n.ActRows = 1e8
+	}
+	re, switched := Reoptimize(bhj, 10<<20)
+	if switched != 1 {
+		t.Fatalf("switched = %d, want 1", switched)
+	}
+	if re.CountOp(SortMergeJoin) != 1 || re.CountOp(BroadcastHashJoin) != 0 {
+		t.Fatalf("AQE should convert BHJ to SMJ:\n%s", re)
+	}
+	if re.CountOp(Sort) != 2 || re.CountOp(ExchangeHashPartition) != 2 {
+		t.Fatalf("converted plan needs shuffle sorts:\n%s", re)
+	}
+}
+
+func TestReoptimizeNoChangeWhenSizesAgree(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 100`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, switched := Reoptimize(plans[0], 10<<20)
+	if switched != 0 {
+		t.Fatalf("single-table plan switched %d joins", switched)
+	}
+	if len(re.Nodes) != len(plans[0].Nodes) {
+		t.Fatal("node count changed without joins")
+	}
+}
+
+func TestReoptimizeBottomUpOrderValid(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+		WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND mk.keyword_id < 10`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		for _, n := range p.Nodes {
+			n.ActRows = 5 // force everything broadcastable
+		}
+		re, _ := Reoptimize(p, 10<<20)
+		for i, n := range re.Nodes {
+			if n.ID != i {
+				t.Fatalf("IDs not reassigned: node %d at %d", n.ID, i)
+			}
+			for _, c := range n.Children {
+				if c.ID >= n.ID {
+					t.Fatalf("child %d after parent %d", c.ID, n.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package physical
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan as a Graphviz digraph (bottom-up data flow), with
+// estimated and actual cardinalities on each operator — handy for
+// documentation and debugging plan choices.
+func (p *Plan) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n")
+	sb.WriteString("  rankdir=BT;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range p.Nodes {
+		label := n.Op.String()
+		switch n.Op {
+		case FileScan:
+			label = fmt.Sprintf("%s\\n%s", n.Op, n.Table)
+		case SortMergeJoin, BroadcastHashJoin, ShuffledHashJoin:
+			label = fmt.Sprintf("%s\\n%s = %s", n.Op, n.LeftKey, n.RightKey)
+		case BroadcastNestedLoopJoin:
+			label = fmt.Sprintf("%s\\n%s %s %s", n.Op, n.LeftKey, n.ThetaOp, n.RightKey)
+		case Sort:
+			label = fmt.Sprintf("%s\\n%s", n.Op, n.SortCol)
+		case HashAggregate, SortAggregate:
+			mode := "partial"
+			if n.Final {
+				mode = "final"
+			}
+			label = fmt.Sprintf("%s\\n%s", n.Op, mode)
+		}
+		card := fmt.Sprintf("est %.0f", n.EstRows)
+		if n.ActRows > 0 {
+			card += fmt.Sprintf(" / act %.0f", n.ActRows)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%s\"];\n", n.ID, label, card)
+	}
+	for _, n := range p.Nodes {
+		for _, c := range n.Children {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", c.ID, n.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

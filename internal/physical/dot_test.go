@@ -1,0 +1,34 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanDOT(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := plans[0].DOT()
+	for _, want := range []string{"digraph plan", "FileScan", "title", "HashAggregate", "->", "est "} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// One node statement per plan node, one edge per child link.
+	edges := strings.Count(dot, "->")
+	wantEdges := 0
+	for _, n := range plans[0].Nodes {
+		wantEdges += len(n.Children)
+	}
+	if edges != wantEdges {
+		t.Fatalf("DOT has %d edges, want %d", edges, wantEdges)
+	}
+}

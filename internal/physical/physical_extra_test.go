@@ -1,0 +1,111 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"raal/internal/sql"
+)
+
+func TestSHJPlanGenerated(t *testing.T) {
+	pl, binder := newPlanner(t)
+	pl.MaxPlans = 12
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shj *Plan
+	for _, p := range plans {
+		if p.CountOp(ShuffledHashJoin) == 1 {
+			shj = p
+			break
+		}
+	}
+	if shj == nil {
+		t.Fatalf("no SHJ candidate among %v", sigs(plans))
+	}
+	// SHJ shuffles both sides but does not sort them.
+	if shj.CountOp(ExchangeHashPartition) != 2 {
+		t.Fatalf("SHJ needs 2 hash exchanges:\n%s", shj)
+	}
+	if shj.CountOp(Sort) != 0 {
+		t.Fatalf("SHJ must not sort:\n%s", shj)
+	}
+	if !strings.Contains(shj.Sig, "SHJ") {
+		t.Fatalf("sig missing SHJ: %s", shj.Sig)
+	}
+}
+
+func TestSortAggregateVariant(t *testing.T) {
+	pl, binder := newPlanner(t)
+	pl.MaxPlans = 12
+	stmt := mustParseStmt(t, `SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sa *Plan
+	for _, p := range plans {
+		if p.CountOp(SortAggregate) == 2 {
+			sa = p
+			break
+		}
+	}
+	if sa == nil {
+		t.Fatalf("no sort-aggregate candidate among %v", sigs(plans))
+	}
+	// Sort before partial aggregation and after the shuffle.
+	if sa.CountOp(Sort) != 2 {
+		t.Fatalf("sort-agg plan needs 2 sorts:\n%s", sa)
+	}
+	if !strings.Contains(sa.Sig, "agg=sort") {
+		t.Fatalf("sig missing agg=sort: %s", sa.Sig)
+	}
+}
+
+func TestBNLJForThetaJoin(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt := mustParseStmt(t, `SELECT COUNT(*) FROM title t, movie_info_idx mii WHERE t.id < mii.movie_id AND t.kind_id = 1 AND mii.info_type_id = 99`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.CountOp(BroadcastNestedLoopJoin) != 1 {
+			t.Fatalf("theta query should use BNLJ:\n%s", p)
+		}
+		if p.CountOp(BroadcastExchange) != 1 {
+			t.Fatalf("BNLJ needs a broadcast build side:\n%s", p)
+		}
+	}
+	// The statement must show the comparison.
+	joined := ""
+	for _, n := range plans[0].Nodes {
+		joined += n.Statement()
+	}
+	if !strings.Contains(joined, "BroadcastNestedLoopJoin") || !strings.Contains(joined, "<") {
+		t.Fatalf("BNLJ statement wrong: %s", joined)
+	}
+}
+
+func mustParseStmt(t *testing.T, q string) *sql.SelectStmt {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}

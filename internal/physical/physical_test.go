@@ -1,0 +1,284 @@
+package physical
+
+import (
+	"strings"
+	"testing"
+
+	"raal/internal/cardest"
+	"raal/internal/datagen"
+	"raal/internal/logical"
+	"raal/internal/sql"
+)
+
+func newPlanner(t *testing.T) (*Planner, *logical.Binder) {
+	t.Helper()
+	db := datagen.IMDB(0.05, 1)
+	est, err := cardest.New(db, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPlanner(est), logical.NewBinder(db)
+}
+
+func plansFor(t *testing.T, query string) []*Plan {
+	t.Helper()
+	pl, binder := newPlanner(t)
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plans
+}
+
+func TestSingleTableTwoPlans(t *testing.T) {
+	// Paper Sec. III: "for the queries on one table, normally there are
+	// only two physical execution plans" differing in FileScan conditions.
+	plans := plansFor(t, `SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 500`)
+	if len(plans) != 2 {
+		t.Fatalf("got %d plans, want 2:\n%v", len(plans), sigs(plans))
+	}
+	// One pushes the filter into the scan, the other keeps a Filter node.
+	if plans[0].CountOp(Filter) != 0 {
+		t.Fatalf("plan 0 should push filters into scan:\n%s", plans[0])
+	}
+	if plans[1].CountOp(Filter) != 1 {
+		t.Fatalf("plan 1 should keep a Filter node:\n%s", plans[1])
+	}
+}
+
+func TestJoinPlanAlternatives(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc
+		WHERE t.id = mc.movie_id AND mc.company_id < 50`)
+	if len(plans) < 3 {
+		t.Fatalf("want ≥3 candidate plans, got %d:\n%v", len(plans), sigs(plans))
+	}
+	var sawSMJ, sawBHJ bool
+	for _, p := range plans {
+		if p.CountOp(SortMergeJoin) > 0 {
+			sawSMJ = true
+		}
+		if p.CountOp(BroadcastHashJoin) > 0 {
+			sawBHJ = true
+		}
+	}
+	if !sawSMJ || !sawBHJ {
+		t.Fatalf("plan set should cover both SMJ and BHJ:\n%v", sigs(plans))
+	}
+}
+
+func TestSMJStructure(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	var smj *Plan
+	for _, p := range plans {
+		if p.CountOp(SortMergeJoin) == 1 {
+			smj = p
+			break
+		}
+	}
+	if smj == nil {
+		t.Fatal("no SMJ plan found")
+	}
+	// SMJ requires exchange + sort on both sides.
+	if smj.CountOp(ExchangeHashPartition) != 2 {
+		t.Fatalf("SMJ plan needs 2 hash exchanges:\n%s", smj)
+	}
+	if smj.CountOp(Sort) != 2 {
+		t.Fatalf("SMJ plan needs 2 sorts:\n%s", smj)
+	}
+}
+
+func TestBHJStructure(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	var bhj *Plan
+	for _, p := range plans {
+		if p.CountOp(BroadcastHashJoin) == 1 {
+			bhj = p
+			break
+		}
+	}
+	if bhj == nil {
+		t.Fatal("no BHJ plan found")
+	}
+	if bhj.CountOp(BroadcastExchange) != 1 {
+		t.Fatalf("BHJ plan needs a broadcast exchange:\n%s", bhj)
+	}
+}
+
+func TestAggregationIsTwoPhase(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM movie_keyword mk`)
+	p := plans[0]
+	if p.CountOp(HashAggregate) != 2 {
+		t.Fatalf("want partial+final aggregate:\n%s", p)
+	}
+	if p.CountOp(ExchangeSinglePartition) != 1 {
+		t.Fatalf("global aggregate needs single-partition exchange:\n%s", p)
+	}
+	// Root is the final aggregate.
+	if p.Root.Op != HashAggregate || !p.Root.Final {
+		t.Fatalf("root should be final HashAggregate, got %s", p.Root.Op)
+	}
+}
+
+func TestGroupByUsesHashExchange(t *testing.T) {
+	plans := plansFor(t, `SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id`)
+	p := plans[0]
+	// 1 for group-by shuffle; scan side has no joins so no other exchanges.
+	if p.CountOp(ExchangeHashPartition) != 1 {
+		t.Fatalf("group-by should hash partition:\n%s", p)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	plans := plansFor(t, `SELECT t.kind_id, COUNT(*) FROM title t GROUP BY t.kind_id ORDER BY t.kind_id DESC LIMIT 3`)
+	p := plans[0]
+	if p.Root.Op != LocalLimit || p.Root.LimitN != 3 {
+		t.Fatalf("root should be LocalLimit 3:\n%s", p)
+	}
+	sortNode := p.Root.Children[0]
+	if sortNode.Op != Sort || !sortNode.SortDesc {
+		t.Fatalf("below limit should be DESC sort:\n%s", p)
+	}
+}
+
+func TestBottomUpNodeOrder(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+		WHERE t.id = mc.movie_id AND t.id = mk.movie_id AND mc.company_id < 100`)
+	for _, p := range plans {
+		for i, n := range p.Nodes {
+			if n.ID != i {
+				t.Fatalf("node ID %d at position %d", n.ID, i)
+			}
+			for _, c := range n.Children {
+				if c.ID >= n.ID {
+					t.Fatalf("child %d not before parent %d", c.ID, n.ID)
+				}
+			}
+		}
+		if p.Nodes[len(p.Nodes)-1] != p.Root {
+			t.Fatal("root must be last in execution order")
+		}
+	}
+}
+
+func TestIsNotNullGuardsOnJoinKeys(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	p := plans[0]
+	found := false
+	for _, n := range p.Nodes {
+		if n.Op == FileScan && n.Alias == "t" {
+			for _, pr := range n.Preds {
+				if nc, ok := pr.(*sql.NullCheck); ok && nc.Not && nc.Col.Name == "id" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("scan of t should carry isnotnull(t.id) guard:\n%s", p)
+	}
+}
+
+func TestStatementsRenderSparkStyle(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_info_idx mii
+		WHERE t.id = mii.movie_id AND t.kind_id < 7 AND t.production_year > 1961`)
+	joined := ""
+	for _, p := range plans {
+		for _, n := range p.Nodes {
+			joined += n.Statement() + "\n"
+		}
+	}
+	for _, want := range []string{"FileScan parquet title", "IS NOT NULL", "HashAggregate", "count(1)"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("statements missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDefaultPlanUsesThreshold(t *testing.T) {
+	pl, binder := newPlanner(t)
+	stmt, _ := sql.Parse(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With a huge threshold, the default plan broadcasts.
+	pl.BroadcastThreshold = 1 << 40
+	p, err := pl.DefaultPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CountOp(BroadcastHashJoin) != 1 {
+		t.Fatalf("huge threshold should broadcast:\n%s", p)
+	}
+
+	// With a zero threshold, it sort-merges.
+	pl.BroadcastThreshold = 0
+	p, err = pl.DefaultPlan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CountOp(SortMergeJoin) != 1 {
+		t.Fatalf("zero threshold should sort-merge:\n%s", p)
+	}
+}
+
+func TestMaxPlansCap(t *testing.T) {
+	pl, binder := newPlanner(t)
+	pl.MaxPlans = 2
+	stmt, _ := sql.Parse(`SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+		WHERE t.id = mc.movie_id AND t.id = mk.movie_id`)
+	q, err := binder.Bind(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := pl.Enumerate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("MaxPlans=2 but got %d", len(plans))
+	}
+}
+
+func TestEstRowsPopulated(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc
+		WHERE t.id = mc.movie_id AND mc.company_id < 10`)
+	for _, p := range plans {
+		for _, n := range p.Nodes {
+			if n.EstRows < 0 {
+				t.Fatalf("negative estimate on %s", n.Statement())
+			}
+			if n.Op == FileScan && n.EstRows == 0 {
+				t.Fatalf("scan estimate should be positive:\n%s", p)
+			}
+		}
+	}
+}
+
+func TestPlanSigsDistinct(t *testing.T) {
+	plans := plansFor(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	seen := map[string]bool{}
+	for _, p := range plans {
+		if seen[p.Sig] {
+			t.Fatalf("duplicate plan signature %q", p.Sig)
+		}
+		seen[p.Sig] = true
+	}
+}
+
+func sigs(plans []*Plan) []string {
+	out := make([]string, len(plans))
+	for i, p := range plans {
+		out[i] = p.Sig
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package sparksim
+
+// Config holds the simulator's calibration constants. The defaults were
+// tuned so that query times land in the paper's observed range (roughly
+// 2–60 s on the scaled-down data) and the Sec. III phenomena appear at
+// realistic memory sizes.
+type Config struct {
+	// RowScale multiplies every cardinality, pretending the scaled-down
+	// synthetic tables are RowScale× bigger (the paper's IMDB is 7.2 GB).
+	RowScale float64
+
+	// PartitionBytes is the input split size for scan stages
+	// (spark.sql.files.maxPartitionBytes).
+	PartitionBytes float64
+
+	// ShufflePartitions is the reduce-side partition count
+	// (spark.sql.shuffle.partitions, scaled down from Spark's 200).
+	ShufflePartitions int
+
+	// MemFraction is the fraction of executor memory usable by execution
+	// (spark.memory.fraction).
+	MemFraction float64
+
+	// BroadcastFraction is the fraction of executor memory a broadcast
+	// hash relation may occupy before degrading.
+	BroadcastFraction float64
+
+	// Per-row CPU costs in nanoseconds.
+	ScanNsPerRow      float64
+	FilterNsPerPred   float64
+	ProjectNsPerRow   float64
+	SortNsPerRow      float64 // multiplied by log2(rows per task)
+	HashBuildNsPerRow float64
+	HashProbeNsPerRow float64
+	MergeNsPerRow     float64
+	AggNsPerRow       float64
+
+	// CacheFraction is the share of each executor's memory acting as
+	// storage/page cache; cached bytes are not re-read from disk. This is
+	// the mechanism by which *more memory speeds queries up* — until the
+	// working data fits, after which only GC overhead keeps growing.
+	CacheFraction float64
+
+	// MaxCacheHit caps the achievable cache hit ratio (cold reads, shuffle
+	// files evicted between stages).
+	MaxCacheHit float64
+
+	// GCCoefPerGB inflates CPU time per GB of executor heap (bigger heaps
+	// mean longer collection pauses even at low occupancy).
+	GCCoefPerGB float64
+
+	// SpillPenalty is the number of extra disk passes over bytes that do
+	// not fit in the per-task memory budget.
+	SpillPenalty float64
+
+	// BroadcastOverflowPenalty multiplies the disk traffic of a broadcast
+	// build side that exceeds the broadcast budget (OOM-avoidance
+	// fallback: rebuild + disk-backed map).
+	BroadcastOverflowPenalty float64
+
+	// Scheduling overheads in milliseconds.
+	TaskOverheadMs  float64
+	StageOverheadMs float64
+	AppStartupMs    float64
+
+	// SkewFactor stretches the last wave of a stage (stragglers).
+	SkewFactor float64
+
+	// NoiseAmplitude is the relative amplitude of the deterministic
+	// per-(plan,resources) noise, emulating run-to-run variance.
+	NoiseAmplitude float64
+}
+
+// DefaultConfig returns the calibrated constants.
+func DefaultConfig() Config {
+	return Config{
+		RowScale:          1200,
+		PartitionBytes:    32 << 20,
+		ShufflePartitions: 24,
+		MemFraction:       0.6,
+		BroadcastFraction: 0.25,
+		CacheFraction:     0.30,
+		MaxCacheHit:       0.80,
+
+		ScanNsPerRow:      70,
+		FilterNsPerPred:   18,
+		ProjectNsPerRow:   6,
+		SortNsPerRow:      14,
+		HashBuildNsPerRow: 80,
+		HashProbeNsPerRow: 55,
+		MergeNsPerRow:     45,
+		AggNsPerRow:       65,
+
+		GCCoefPerGB:              0.045,
+		SpillPenalty:             2.2,
+		BroadcastOverflowPenalty: 5.0,
+
+		TaskOverheadMs:  6,
+		StageOverheadMs: 40,
+		AppStartupMs:    350,
+
+		SkewFactor:     0.25,
+		NoiseAmplitude: 0.04,
+	}
+}

@@ -1,0 +1,67 @@
+package sparksim
+
+import "testing"
+
+func TestDynamicRampNeverBelowOneExecutor(t *testing.T) {
+	// Even on the first stage, dynamic allocation must leave at least one
+	// executor's worth of slots.
+	f := newFixture(t)
+	p := f.executedPlans(t, joinQuery)[0]
+	res := DefaultResources()
+	res.Dynamic = true
+	res.Executors = 8
+	res.ExecCores = 4
+	b, err := f.sim.Breakdown(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Stages) == 0 || b.TotalSec <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", b)
+	}
+}
+
+func TestDynamicConvergesOnLongPlans(t *testing.T) {
+	// Once the ramp completes, a dynamic allocation's marginal stage cost
+	// matches static; the total difference is bounded by the early-stage
+	// penalty plus acquisition latency.
+	f := newFixture(t)
+	plans := f.executedPlans(t, `SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+		WHERE t.id = mc.movie_id AND t.id = mk.movie_id
+		AND mc.company_id = 9 AND mk.keyword_id < 200`)
+	p := plans[0]
+	static := DefaultResources()
+	dynamic := static
+	dynamic.Dynamic = true
+	cs, err := f.sim.Estimate(p, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := f.sim.Estimate(p, dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd < cs {
+		t.Fatalf("dynamic should not be cheaper: %v vs %v", cd, cs)
+	}
+	if cd > cs*3 {
+		t.Fatalf("dynamic penalty unreasonably large: %v vs %v", cd, cs)
+	}
+}
+
+func TestStageLabels(t *testing.T) {
+	f := newFixture(t)
+	p := f.executedPlans(t, joinQuery)[0]
+	b, err := f.sim.Breakdown(p, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range b.Stages {
+		if st.Label == "" {
+			t.Fatalf("stage missing label: %+v", st)
+		}
+	}
+	// The leaf-most stage is a table scan.
+	if got := b.Stages[0].Label; len(got) < 8 || got[:8] != "FileScan" {
+		t.Fatalf("first stage label %q should start with FileScan", got)
+	}
+}

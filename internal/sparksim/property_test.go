@@ -1,0 +1,83 @@
+package sparksim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomValidResources draws an arbitrary but physically valid allocation.
+func randomValidResources(rng *rand.Rand) Resources {
+	return Resources{
+		Nodes:        1 + rng.Intn(16),
+		CoresPerNode: 1 + rng.Intn(16),
+		Executors:    1 + rng.Intn(16),
+		ExecCores:    1 + rng.Intn(8),
+		ExecMemMB:    float64(256 + rng.Intn(32768)),
+		NetMBps:      float64(10 + rng.Intn(2000)),
+		DiskMBps:     float64(10 + rng.Intn(2000)),
+		Dynamic:      rng.Intn(2) == 0,
+	}
+}
+
+func TestCostAlwaysPositiveAndFinite(t *testing.T) {
+	f := newFixture(t)
+	plans := f.executedPlans(t, joinQuery)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		res := randomValidResources(rng)
+		for _, p := range plans {
+			c, err := f.sim.Estimate(p, res)
+			if err != nil || c <= 0 || c > 1e9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizedAlwaysInRange(t *testing.T) {
+	max := MaxResources()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValidResources(rng).Normalized(max)
+		if len(v) != NumFeatures {
+			return false
+		}
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreRowsNeverCheaper(t *testing.T) {
+	// Scaling every cardinality up must not reduce the cost: the model is
+	// monotone in workload size.
+	f := newFixture(t)
+	p := f.executedPlans(t, joinQuery)[0]
+	res := DefaultResources()
+	base, err := f.sim.Estimate(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range p.Nodes {
+		n.ActRows *= 3
+		n.RawRows *= 3
+	}
+	grown, err := f.sim.Estimate(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown < base {
+		t.Fatalf("3x data should not be cheaper: %v vs %v", grown, base)
+	}
+}

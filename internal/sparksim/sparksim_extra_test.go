@@ -1,0 +1,171 @@
+package sparksim
+
+import (
+	"testing"
+
+	"raal/internal/physical"
+)
+
+func TestSHJPlanPriced(t *testing.T) {
+	f := newFixture(t)
+	f.planner.MaxPlans = 12
+	plans := f.executedPlans(t, `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	var shj *physical.Plan
+	for _, p := range plans {
+		if p.CountOp(physical.ShuffledHashJoin) == 1 {
+			shj = p
+		}
+	}
+	if shj == nil {
+		t.Fatal("no SHJ plan")
+	}
+	sec, err := f.sim.Estimate(shj, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("SHJ cost %v", sec)
+	}
+}
+
+func TestBNLJCostGrowsQuadratically(t *testing.T) {
+	f := newFixture(t)
+	plans := f.executedPlans(t, `SELECT COUNT(*) FROM title t, movie_info_idx mii
+		WHERE t.id < mii.movie_id AND t.kind_id = 2 AND mii.info_type_id = 99 AND t.production_year > 2010`)
+	p := plans[0]
+	if p.CountOp(physical.BroadcastNestedLoopJoin) != 1 {
+		t.Fatalf("expected BNLJ:\n%s", p)
+	}
+	base, err := f.sim.Estimate(p, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= 0 {
+		t.Fatalf("BNLJ cost %v", base)
+	}
+	// Doubling both input cardinalities must roughly quadruple the
+	// nested-loop term; cost must strictly grow.
+	for _, n := range p.Nodes {
+		if n.Op != physical.BroadcastNestedLoopJoin {
+			continue
+		}
+		for _, c := range n.Children {
+			c.ActRows *= 4
+		}
+	}
+	grown, err := f.sim.Estimate(p, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown <= base {
+		t.Fatalf("bigger nested loop should cost more: %v vs %v", grown, base)
+	}
+}
+
+func TestMeasuredSkewStretchesStage(t *testing.T) {
+	f := newFixture(t)
+	plans := f.executedPlans(t, joinQuery)
+	var smj *physical.Plan
+	for _, p := range plans {
+		if p.CountOp(physical.SortMergeJoin) == 1 {
+			smj = p
+		}
+	}
+	if smj == nil {
+		t.Fatal("no SMJ plan")
+	}
+	res := DefaultResources()
+	// Compare a forced-balanced shuffle against a forced-straggler one.
+	saved := map[*physical.Node]float64{}
+	setSkew := func(v float64) {
+		for _, n := range smj.Nodes {
+			if n.Op == physical.ExchangeHashPartition {
+				if _, ok := saved[n]; !ok {
+					saved[n] = n.Skew
+				}
+				n.Skew = v
+			}
+		}
+	}
+	setSkew(1)
+	balanced, err := f.sim.Estimate(smj, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setSkew(4)
+	skewed, err := f.sim.Estimate(smj, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, s := range saved {
+		n.Skew = s
+	}
+	if skewed <= balanced {
+		t.Fatalf("skewed partitions should cost more: %v vs %v", skewed, balanced)
+	}
+}
+
+func TestDynamicAllocationCostsMore(t *testing.T) {
+	// Dynamic allocation ramps executors up over the first stages, so a
+	// short query pays for under-provisioned early stages plus
+	// acquisition latency.
+	f := newFixture(t)
+	p := f.executedPlans(t, joinQuery)[0]
+	static := DefaultResources()
+	static.Executors = 8
+	dynamic := static
+	dynamic.Dynamic = true
+	cs, err := f.sim.Estimate(p, static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := f.sim.Estimate(p, dynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd <= cs {
+		t.Fatalf("dynamic allocation should cost more on a short query: %v vs %v", cd, cs)
+	}
+}
+
+func TestDynamicFlagInFeatureVector(t *testing.T) {
+	r := DefaultResources()
+	if r.Vector()[NumFeatures-1] != 0 {
+		t.Fatal("static allocation should encode 0")
+	}
+	r.Dynamic = true
+	if r.Vector()[NumFeatures-1] != 1 {
+		t.Fatal("dynamic allocation should encode 1")
+	}
+	norm := r.Normalized(MaxResources())
+	if norm[NumFeatures-1] != 1 {
+		t.Fatalf("dynamic flag lost in normalization: %v", norm)
+	}
+}
+
+func TestSkewCapped(t *testing.T) {
+	// Even absurd skew must not blow the model up unboundedly.
+	f := newFixture(t)
+	plans := f.executedPlans(t, joinQuery)
+	var smj *physical.Plan
+	for _, p := range plans {
+		if p.CountOp(physical.SortMergeJoin) == 1 {
+			smj = p
+		}
+	}
+	if smj == nil {
+		t.Fatal("no SMJ plan")
+	}
+	for _, n := range smj.Nodes {
+		if n.Op == physical.ExchangeHashPartition {
+			n.Skew = 1e9
+		}
+	}
+	sec, err := f.sim.Estimate(smj, DefaultResources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec > 1e6 {
+		t.Fatalf("skew cap failed: %v", sec)
+	}
+}

@@ -1,0 +1,120 @@
+// Package sql implements a lexer, AST, and recursive-descent parser for the
+// GPSJ (generalized projection / selection / join) query class the paper
+// evaluates on: single-block SELECT statements with aggregates, inner
+// equi-joins, conjunctive predicates over numeric and string attributes,
+// GROUP BY, ORDER BY, and LIMIT.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are lowercased; keywords compare lowercased
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits input into tokens. Identifiers and keywords are lowercased;
+// string literals keep their case.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[start:i]), start})
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for i < n && input[i] != '\'' {
+				sb.WriteByte(input[i])
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			i++ // closing quote
+			toks = append(toks, token{tokString, sb.String(), start})
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && input[i] == '=' {
+				i++
+			} else if c == '<' && i < n && input[i] == '>' {
+				i++
+			} else if c == '!' {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d (use != or <>)", start)
+			}
+			toks = append(toks, token{tokSymbol, input[start:i], start})
+		case strings.ContainsRune("=,().*;+-/%", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// startsValue reports whether the next token position can begin a value
+// (so '-' starts a negative number rather than being a binary operator).
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	if last.kind == tokSymbol {
+		switch last.text {
+		case ")", "*":
+			return false
+		}
+		return true
+	}
+	if last.kind == tokIdent {
+		switch last.text {
+		case "and", "or", "between", "in", "where", "like", "limit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,341 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	// optional trailing semicolon
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokIdent && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, got %s", sym, p.peek())
+	}
+	return nil
+}
+
+var aggNames = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+// reserved words that cannot serve as table aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "order": true,
+	"by": true, "limit": true, "and": true, "or": true, "between": true,
+	"in": true, "like": true, "is": true, "not": true, "null": true,
+	"asc": true, "desc": true, "as": true,
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent || reserved[t.text] {
+			return nil, fmt.Errorf("sql: expected table name, got %s", t)
+		}
+		ref := TableRef{Table: t.text, Alias: t.text}
+		p.acceptKeyword("as")
+		if a := p.peek(); a.kind == tokIdent && !reserved[a.text] {
+			ref.Alias = p.next().text
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("where") {
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		item := OrderItem{Col: col}
+		if p.acceptKeyword("desc") {
+			item.Desc = true
+		} else {
+			p.acceptKeyword("asc")
+		}
+		stmt.OrderBy = &item
+	}
+
+	if p.acceptKeyword("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected LIMIT count, got %s", t)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg, ok := aggNames[t.text]; ok && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.next() // agg name
+			p.next() // (
+			if p.acceptSymbol("*") {
+				if agg != AggCount {
+					return SelectItem{}, fmt.Errorf("sql: %s(*) is not supported", agg)
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return SelectItem{}, err
+				}
+				return SelectItem{Agg: agg, Star: true}, nil
+			}
+			col, err := p.columnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: agg, Col: col}, nil
+		}
+		col, err := p.columnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Col: col}, nil
+	}
+	return SelectItem{}, fmt.Errorf("sql: expected select item, got %s", t)
+}
+
+func (p *parser) columnRef() (ColumnRef, error) {
+	t := p.next()
+	if t.kind != tokIdent || reserved[t.text] {
+		return ColumnRef{}, fmt.Errorf("sql: expected column, got %s", t)
+	}
+	if p.acceptSymbol(".") {
+		name := p.next()
+		if name.kind != tokIdent {
+			return ColumnRef{}, fmt.Errorf("sql: expected column after %q., got %s", t.text, name)
+		}
+		return ColumnRef{Qualifier: t.text, Name: name.text}, nil
+	}
+	return ColumnRef{Name: t.text}, nil
+}
+
+func (p *parser) literal() (Literal, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		// Fractional literals are scaled semantics we don't need; the
+		// workloads use integers.
+		if strings.Contains(t.text, ".") {
+			return Literal{}, fmt.Errorf("sql: fractional literal %q not supported", t.text)
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return IntLit(v), nil
+	case tokString:
+		return StrLit(t.text), nil
+	default:
+		return Literal{}, fmt.Errorf("sql: expected literal, got %s", t)
+	}
+}
+
+var symbolOps = map[string]CmpOp{
+	"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	col, err := p.columnRef()
+	if err != nil {
+		return nil, err
+	}
+
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && symbolOps[t.text] != 0 || t.kind == tokSymbol && t.text == "=":
+		op := symbolOps[p.next().text]
+		// Right side: literal or column.
+		r := p.peek()
+		if r.kind == tokIdent && !reserved[r.text] {
+			rcol, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			return &Comparison{Left: col, Op: op, RightCol: &rcol}, nil
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Left: col, Op: op, Lit: lit}, nil
+
+	case t.kind == tokIdent && t.text == "between":
+		p.next()
+		lo, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if lo.IsStr || hi.IsStr {
+			return nil, fmt.Errorf("sql: BETWEEN requires integer bounds")
+		}
+		return &Between{Col: col, Lo: lo.I, Hi: hi.I}, nil
+
+	case t.kind == tokIdent && t.text == "in":
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []Literal
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, lit)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &In{Col: col, Values: vals}, nil
+
+	case t.kind == tokIdent && t.text == "like":
+		p.next()
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if !lit.IsStr {
+			return nil, fmt.Errorf("sql: LIKE requires a string pattern")
+		}
+		return &Like{Col: col, Pattern: lit.S}, nil
+
+	case t.kind == tokIdent && t.text == "is":
+		p.next()
+		not := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &NullCheck{Col: col, Not: not}, nil
+	}
+	return nil, fmt.Errorf("sql: expected predicate operator, got %s", t)
+}

@@ -1,0 +1,84 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser pseudo-random token soups: it
+// must return errors, never panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	words := []string{
+		"SELECT", "FROM", "WHERE", "AND", "COUNT", "SUM", "GROUP", "BY",
+		"ORDER", "LIMIT", "BETWEEN", "IN", "LIKE", "IS", "NOT", "NULL",
+		"(", ")", ",", "*", ".", "=", "<", ">", "<=", ">=", "!=", "<>",
+		"t", "a", "b", "movie_keyword", "5", "-3", "999999999", "'x'", "''",
+		";", "count", "select",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		n := 1 + rng.Intn(20)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		input := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestParserHandlesRandomBytes exercises the lexer with arbitrary bytes.
+func TestParserHandlesRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(128))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", b, r)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+// TestParseValidQueriesAlwaysRoundTrip: any statement that parses must
+// render to a string that parses to the same rendering (idempotence).
+func TestParseValidQueriesAlwaysRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ops := []string{"=", "<", ">", "<=", ">=", "!="}
+	for i := 0; i < 500; i++ {
+		q := "SELECT COUNT(*) FROM t WHERE a " + ops[rng.Intn(len(ops))] +
+			" " + string(rune('0'+rng.Intn(10)))
+		if rng.Intn(2) == 0 {
+			q += " AND b BETWEEN 1 AND " + string(rune('1'+rng.Intn(9)))
+		}
+		if rng.Intn(3) == 0 {
+			q += " LIMIT " + string(rune('1'+rng.Intn(9)))
+		}
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("not idempotent: %q vs %q", s1.String(), s2.String())
+		}
+	}
+}

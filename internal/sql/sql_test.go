@@ -1,0 +1,215 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParsePaperQuery1(t *testing.T) {
+	// The single-table query from Sec. III.
+	stmt := mustParse(t, `SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 71692;`)
+	if len(stmt.Items) != 1 || stmt.Items[0].Agg != AggCount || !stmt.Items[0].Star {
+		t.Fatalf("items: %v", stmt.Items)
+	}
+	if len(stmt.From) != 1 || stmt.From[0].Table != "movie_keyword" || stmt.From[0].Alias != "mk" {
+		t.Fatalf("from: %v", stmt.From)
+	}
+	cmp, ok := stmt.Where[0].(*Comparison)
+	if !ok || cmp.Op != OpLt || cmp.Lit.I != 71692 || cmp.Left.Qualifier != "mk" {
+		t.Fatalf("where: %v", stmt.Where)
+	}
+}
+
+func TestParsePaperQuery4(t *testing.T) {
+	// The three-table join query from Sec. III.
+	stmt := mustParse(t, `SELECT COUNT(*) FROM title t, movie_companies mc, movie_keyword mk
+		WHERE t.id = mc.movie_id AND t.id = mk.movie_id
+		AND mc.company_id = 43268 AND mk.keyword_id < 2560`)
+	if len(stmt.From) != 3 {
+		t.Fatalf("from: %v", stmt.From)
+	}
+	if len(stmt.Where) != 4 {
+		t.Fatalf("where: %d conjuncts", len(stmt.Where))
+	}
+	joins := 0
+	for _, p := range stmt.Where {
+		if c, ok := p.(*Comparison); ok && c.IsJoin() {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Fatalf("join predicates: %d, want 2", joins)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t, `SELECT SUM(l_extendedprice), AVG(l_discount), MIN(l_quantity), MAX(l_quantity), COUNT(l_orderkey) FROM lineitem`)
+	wantAggs := []AggFunc{AggSum, AggAvg, AggMin, AggMax, AggCount}
+	for i, it := range stmt.Items {
+		if it.Agg != wantAggs[i] {
+			t.Fatalf("item %d agg = %v, want %v", i, it.Agg, wantAggs[i])
+		}
+	}
+	if !stmt.HasAggregate() {
+		t.Fatal("HasAggregate should be true")
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment ORDER BY c_mktsegment DESC LIMIT 10`)
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Name != "c_mktsegment" {
+		t.Fatalf("group by: %v", stmt.GroupBy)
+	}
+	if stmt.OrderBy == nil || !stmt.OrderBy.Desc {
+		t.Fatalf("order by: %v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Fatalf("limit: %d", stmt.Limit)
+	}
+}
+
+func TestParseStringPredicates(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM company_name cn
+		WHERE cn.country_code = 'cc_0003' AND cn.name LIKE 'company%'
+		AND cn.country_code IN ('cc_0001', 'cc_0002')`)
+	if _, ok := stmt.Where[0].(*Comparison); !ok {
+		t.Fatalf("pred 0: %T", stmt.Where[0])
+	}
+	like, ok := stmt.Where[1].(*Like)
+	if !ok || like.Pattern != "company%" {
+		t.Fatalf("pred 1: %v", stmt.Where[1])
+	}
+	in, ok := stmt.Where[2].(*In)
+	if !ok || len(in.Values) != 2 || !in.Values[0].IsStr {
+		t.Fatalf("pred 2: %v", stmt.Where[2])
+	}
+}
+
+func TestParseBetweenAndNullChecks(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM title t
+		WHERE t.production_year BETWEEN 1990 AND 2000
+		AND t.kind_id IS NOT NULL AND t.id IS NULL`)
+	b, ok := stmt.Where[0].(*Between)
+	if !ok || b.Lo != 1990 || b.Hi != 2000 {
+		t.Fatalf("between: %v", stmt.Where[0])
+	}
+	nn, ok := stmt.Where[1].(*NullCheck)
+	if !ok || !nn.Not {
+		t.Fatalf("is not null: %v", stmt.Where[1])
+	}
+	n, ok := stmt.Where[2].(*NullCheck)
+	if !ok || n.Not {
+		t.Fatalf("is null: %v", stmt.Where[2])
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM supplier WHERE s_acctbal > -500`)
+	cmp := stmt.Where[0].(*Comparison)
+	if cmp.Lit.I != -500 {
+		t.Fatalf("literal: %v", cmp.Lit)
+	}
+}
+
+func TestParseAllComparisonOps(t *testing.T) {
+	ops := map[string]CmpOp{
+		"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	}
+	for sym, want := range ops {
+		stmt := mustParse(t, `SELECT COUNT(*) FROM t WHERE a `+sym+` 5`)
+		cmp := stmt.Where[0].(*Comparison)
+		if cmp.Op != want {
+			t.Fatalf("op %q parsed as %v, want %v", sym, cmp.Op, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, q := range []string{
+		``,
+		`FROM t`,
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT COUNT(* FROM t`,
+		`SELECT COUNT(*) FROM t WHERE`,
+		`SELECT COUNT(*) FROM t WHERE a`,
+		`SELECT COUNT(*) FROM t WHERE a = `,
+		`SELECT COUNT(*) FROM t WHERE a BETWEEN 'x' AND 'y'`,
+		`SELECT COUNT(*) FROM t WHERE a LIKE 5`,
+		`SELECT SUM(*) FROM t`,
+		`SELECT COUNT(*) FROM t LIMIT abc`,
+		`SELECT COUNT(*) FROM t extra garbage here ,`,
+		`SELECT COUNT(*) FROM t WHERE a = 'unterminated`,
+		`SELECT a.b.c FROM t`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Fatalf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	stmt := mustParse(t, `select count(*) from Title T where T.ID < 5`)
+	if stmt.From[0].Table != "title" || stmt.From[0].Alias != "t" {
+		t.Fatalf("case folding failed: %v", stmt.From)
+	}
+}
+
+func TestStringLiteralPreservesCase(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM t WHERE a = 'MixedCase'`)
+	cmp := stmt.Where[0].(*Comparison)
+	if cmp.Lit.S != "MixedCase" {
+		t.Fatalf("literal case not preserved: %q", cmp.Lit.S)
+	}
+}
+
+func TestStmtStringRoundTrip(t *testing.T) {
+	// Rendering then re-parsing must produce the same structure.
+	queries := []string{
+		`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id AND mc.company_id < 100`,
+		`SELECT c_mktsegment, SUM(c_acctbal) FROM customer WHERE c_acctbal > 0 GROUP BY c_mktsegment ORDER BY c_mktsegment LIMIT 5`,
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Fatalf("round trip changed:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestCmpOpNegateFlip(t *testing.T) {
+	if OpLt.Negate() != OpGe || OpEq.Negate() != OpNe {
+		t.Fatal("Negate wrong")
+	}
+	if OpLt.Flip() != OpGt || OpLe.Flip() != OpGe || OpEq.Flip() != OpEq {
+		t.Fatal("Flip wrong")
+	}
+}
+
+func TestPredicateColumns(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM a, b WHERE a.x = b.y AND a.z > 3`)
+	cols := stmt.Where[0].Columns()
+	if len(cols) != 2 || cols[0].String() != "a.x" || cols[1].String() != "b.y" {
+		t.Fatalf("join columns: %v", cols)
+	}
+	cols = stmt.Where[1].Columns()
+	if len(cols) != 1 || cols[0].String() != "a.z" {
+		t.Fatalf("filter columns: %v", cols)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Parse(`SELECT COUNT(*) FROM t WHERE a @ 3`); err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Fatalf("expected lexer error, got %v", err)
+	}
+}

@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("not zeroed: %v", m.Data)
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(0, 1) != 2 || m.At(2, 0) != 5 {
+		t.Fatalf("At wrong: %v", m)
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatalf("Set failed")
+	}
+}
+
+func TestFromSliceLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := MatMul(a, b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if !AllClose(got, want, 1e-12) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(4, 4, 1, rng)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !AllClose(MatMul(a, id), a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if !AllClose(MatMul(id, a), a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(3, 5, 1, rng)
+	b := Randn(4, 5, 1, rng)
+	if !AllClose(MatMulTransB(a, b), MatMul(a, b.Transpose()), 1e-12) {
+		t.Fatal("MatMulTransB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(5, 3, 1, rng)
+	b := Randn(5, 4, 1, rng)
+	if !AllClose(MatMulTransA(a, b), MatMul(a.Transpose(), b), 1e-12) {
+		t.Fatal("MatMulTransA disagrees with explicit transpose")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(6)
+		m := Randn(rows, cols, 1, rng)
+		return AllClose(m.Transpose().Transpose(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubMulScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if !AllClose(Add(a, b), FromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Fatal("Add wrong")
+	}
+	if !AllClose(Sub(b, a), FromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Fatal("Sub wrong")
+	}
+	if !AllClose(Mul(a, b), FromRows([][]float64{{5, 12}, {21, 32}}), 0) {
+		t.Fatal("Mul wrong")
+	}
+	if !AllClose(Scale(a, 2), FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestAddDistributesOverMatMul(t *testing.T) {
+	// (A+B)·C == A·C + B·C
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := Randn(m, k, 1, rng)
+		b := Randn(m, k, 1, rng)
+		c := Randn(k, n, 1, rng)
+		lhs := MatMul(Add(a, b), c)
+		rhs := Add(MatMul(a, c), MatMul(b, c))
+		return AllClose(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRow(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := RowVector([]float64{10, 20})
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !AllClose(AddRow(m, r), want, 0) {
+		t.Fatal("AddRow wrong")
+	}
+}
+
+func TestConcatCols(t *testing.T) {
+	a := FromRows([][]float64{{1}, {2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	got := ConcatCols(a, b)
+	want := FromRows([][]float64{{1, 3, 4}, {2, 5, 6}})
+	if !AllClose(got, want, 0) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	got := ConcatRows(a, b)
+	want := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !AllClose(got, want, 0) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.SliceRows(1, 3)
+	want := FromRows([][]float64{{3, 4}, {5, 6}})
+	if !AllClose(got, want, 0) {
+		t.Fatal("SliceRows wrong")
+	}
+	// mutation of the slice must not touch the original
+	got.Set(0, 0, 99)
+	if m.At(1, 0) != 3 {
+		t.Fatal("SliceRows aliases parent")
+	}
+}
+
+func TestSumMeanMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-3, 1}, {2, 0}})
+	if m.Sum() != 0 {
+		t.Fatalf("Sum=%v", m.Sum())
+	}
+	if m.Mean() != 0 {
+		t.Fatalf("Mean=%v", m.Mean())
+	}
+	if m.MaxAbs() != 3 {
+		t.Fatalf("MaxAbs=%v", m.MaxAbs())
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromRows([][]float64{{1, 4}, {9, 16}})
+	got := Apply(m, math.Sqrt)
+	want := FromRows([][]float64{{1, 2}, {3, 4}})
+	if !AllClose(got, want, 1e-12) {
+		t.Fatal("Apply wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases source")
+	}
+}
+
+func TestAxpyInPlace(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{10, 20}})
+	AxpyInPlace(a, 0.5, b)
+	if !AllClose(a, FromRows([][]float64{{6, 12}}), 1e-12) {
+		t.Fatalf("axpy got %v", a)
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Randn(3, 4, 1, rng)
+		b := Randn(4, 5, 1, rng)
+		c := Randn(5, 2, 1, rng)
+		return AllClose(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(64, 64, 1, rng)
+	y := Randn(64, 64, 1, rng)
+	out := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y)
+	}
+}

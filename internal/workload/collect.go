@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"raal/internal/cardest"
+	"raal/internal/catalog"
+	"raal/internal/encode"
+	"raal/internal/engine"
+	"raal/internal/logical"
+	"raal/internal/physical"
+	"raal/internal/sparksim"
+	"raal/internal/sql"
+)
+
+// Record is one training observation: a physical plan executed under a
+// resource allocation, with its simulated wall-clock cost.
+type Record struct {
+	QueryID int
+	Plan    *physical.Plan
+	Res     sparksim.Resources
+	CostSec float64
+}
+
+// Dataset is a collected corpus plus the artifacts needed to encode it.
+type Dataset struct {
+	DB      *catalog.Database
+	Est     *cardest.Estimator
+	Records []Record
+	Plans   []*physical.Plan // unique executed plans (for encoder fitting)
+	Skipped int              // queries dropped due to bind/plan errors
+}
+
+// CollectConfig controls dataset collection.
+type CollectConfig struct {
+	NumQueries int
+	// PlansPerQuery caps candidate plans evaluated per query (the paper
+	// evaluates the first three Catalyst plans).
+	PlansPerQuery int
+	// ResStatesPerPlan is how many random resource states each plan is
+	// priced under.
+	ResStatesPerPlan int
+	// FixedRes, when non-nil, replaces random resource states (the
+	// paper's local fixed-resource setting for the TLSTM comparison).
+	FixedRes *sparksim.Resources
+	// MaxEngineRows bounds operator outputs during truth execution;
+	// queries whose plans explode past it are skipped (0 = 2 million).
+	MaxEngineRows int
+	Seed          int64
+	Sim           sparksim.Config
+}
+
+// DefaultCollectConfig returns the harness defaults (scaled down from the
+// paper's 63K/50K records; see EXPERIMENTS.md).
+func DefaultCollectConfig() CollectConfig {
+	return CollectConfig{
+		NumQueries:       400,
+		PlansPerQuery:    3,
+		ResStatesPerPlan: 3,
+		Seed:             1,
+		Sim:              sparksim.DefaultConfig(),
+	}
+}
+
+// RandomResources draws a plausible allocation from the paper's resource
+// grid: 1–8 executors, 1–4 cores, 1–14 GB, and varying throughputs.
+func RandomResources(rng *rand.Rand) sparksim.Resources {
+	return sparksim.Resources{
+		Nodes:        4,
+		CoresPerNode: 4,
+		Executors:    1 + rng.Intn(8),
+		ExecCores:    1 + rng.Intn(4),
+		ExecMemMB:    float64(1+rng.Intn(14)) * 1024,
+		NetMBps:      60 + float64(rng.Intn(10))*100,
+		DiskMBps:     80 + float64(rng.Intn(8))*60,
+		Dynamic:      rng.Float64() < 0.3,
+	}
+}
+
+// Collect generates queries, enumerates and executes their candidate
+// plans, and prices each plan under the configured resource states.
+func Collect(db *catalog.Database, gen *Generator, cfg CollectConfig) (*Dataset, error) {
+	if cfg.NumQueries <= 0 {
+		return nil, fmt.Errorf("workload: NumQueries must be positive")
+	}
+	if cfg.PlansPerQuery <= 0 {
+		cfg.PlansPerQuery = 3
+	}
+	if cfg.ResStatesPerPlan <= 0 {
+		cfg.ResStatesPerPlan = 1
+	}
+	est, err := cardest.New(db, 32, 16)
+	if err != nil {
+		return nil, err
+	}
+	planner := physical.NewPlanner(est)
+	eng := engine.New(db)
+	eng.MaxRows = cfg.MaxEngineRows
+	if eng.MaxRows == 0 {
+		eng.MaxRows = 2_000_000
+	}
+	sim := sparksim.New(cfg.Sim)
+	sim.Seed = cfg.Seed
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+
+	ds := &Dataset{DB: db, Est: est}
+	for qi := 0; qi < cfg.NumQueries; qi++ {
+		qs := gen.GenerateOne()
+		stmt, err := sql.Parse(qs)
+		if err != nil {
+			return nil, fmt.Errorf("workload: generated invalid SQL %q: %w", qs, err)
+		}
+		bound, err := logical.NewBinder(db).Bind(stmt)
+		if err != nil {
+			ds.Skipped++
+			continue
+		}
+		plans, err := planner.Enumerate(bound)
+		if err != nil {
+			ds.Skipped++
+			continue
+		}
+		if len(plans) > cfg.PlansPerQuery {
+			plans = plans[:cfg.PlansPerQuery]
+		}
+		// Execute all plans first so an exploding query is skipped whole.
+		exploded := false
+		for _, p := range plans {
+			if _, err := eng.Run(p); err != nil {
+				if errors.Is(err, engine.ErrRowLimit) {
+					exploded = true
+					break
+				}
+				return nil, fmt.Errorf("workload: executing %q: %w", qs, err)
+			}
+		}
+		if exploded {
+			ds.Skipped++
+			continue
+		}
+		for _, p := range plans {
+			ds.Plans = append(ds.Plans, p)
+			states := cfg.ResStatesPerPlan
+			for s := 0; s < states; s++ {
+				var res sparksim.Resources
+				if cfg.FixedRes != nil {
+					res = *cfg.FixedRes
+					s = states // one state only
+				} else {
+					res = RandomResources(rng)
+				}
+				cost, err := sim.Estimate(p, res)
+				if err != nil {
+					return nil, err
+				}
+				ds.Records = append(ds.Records, Record{QueryID: qi, Plan: p, Res: res, CostSec: cost})
+			}
+		}
+	}
+	if len(ds.Records) == 0 {
+		return nil, fmt.Errorf("workload: no records collected (%d queries skipped)", ds.Skipped)
+	}
+	return ds, nil
+}
+
+// FitEncoder fits a feature encoder on the dataset's plans.
+func (d *Dataset) FitEncoder(cfg encode.Config) (*encode.Encoder, error) {
+	return encode.Fit(d.Plans, cfg)
+}
+
+// Encode converts all records into training samples.
+func (d *Dataset) Encode(enc *encode.Encoder) []*encode.Sample {
+	out := make([]*encode.Sample, len(d.Records))
+	for i, r := range d.Records {
+		s := enc.EncodePlan(r.Plan, r.Res)
+		s.CostSec = r.CostSec
+		out[i] = s
+	}
+	return out
+}
+
+// Split shuffles samples and splits them into train/test by trainFrac
+// (the paper uses 80/20).
+func Split(samples []*encode.Sample, trainFrac float64, seed int64) (train, test []*encode.Sample) {
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	cut := int(float64(len(samples)) * trainFrac)
+	for i, j := range idx {
+		if i < cut {
+			train = append(train, samples[j])
+		} else {
+			test = append(test, samples[j])
+		}
+	}
+	return train, test
+}
+
+// SplitRecords splits the raw records (useful when train/test must not
+// share plans).
+func (d *Dataset) SplitRecords(trainFrac float64, seed int64) (train, test []Record) {
+	idx := make([]int, len(d.Records))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	cut := int(float64(len(idx)) * trainFrac)
+	for i, j := range idx {
+		if i < cut {
+			train = append(train, d.Records[j])
+		} else {
+			test = append(test, d.Records[j])
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,321 @@
+// Package workload generates benchmark query workloads and collects
+// training data for the deep cost models.
+//
+// It mirrors the paper's data collection phase (Sec. IV-B, Sec. V-A): for
+// each benchmark it generates thousands of queries with 0–5 joins in two
+// flavors — numeric-only predicates and predicates with string attributes —
+// enumerates each query's candidate physical plans, executes them once to
+// obtain true cardinalities, and then prices every plan under many resource
+// states on the cluster simulator to produce (plan, resources, cost)
+// records.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raal/internal/catalog"
+)
+
+// joinEdge is one joinable column pair in a benchmark's schema graph.
+type joinEdge struct {
+	leftTable, leftCol   string
+	rightTable, rightCol string
+}
+
+// numericCol describes a column predicates can range over.
+type numericCol struct {
+	table, col string
+	lo, hi     int64
+}
+
+// stringCol describes a string column with its value pool shape.
+type stringCol struct {
+	table, col, prefix string
+	poolSize           int
+}
+
+// Generator produces random SQL query strings for one benchmark.
+type Generator struct {
+	rng      *rand.Rand
+	edges    []joinEdge
+	numerics map[string][]numericCol
+	strings  map[string][]stringCol
+	// StringProb is the probability a generated predicate uses a string
+	// attribute (the paper's second workload type).
+	StringProb float64
+	// MaxJoins caps the number of join edges (paper: 0–5).
+	MaxJoins int
+}
+
+// NewIMDBGenerator builds a generator for the synthetic IMDB schema. The
+// db is consulted for live value ranges so predicates hit real data.
+func NewIMDBGenerator(db *catalog.Database, seed int64) (*Generator, error) {
+	g := &Generator{
+		rng:        rand.New(rand.NewSource(seed)),
+		StringProb: 0.25,
+		MaxJoins:   5,
+		numerics:   map[string][]numericCol{},
+		strings:    map[string][]stringCol{},
+	}
+	g.edges = []joinEdge{
+		{"title", "id", "movie_companies", "movie_id"},
+		{"title", "id", "movie_keyword", "movie_id"},
+		{"title", "id", "movie_info", "movie_id"},
+		{"title", "id", "movie_info_idx", "movie_id"},
+		{"title", "id", "cast_info", "movie_id"},
+		{"company_name", "id", "movie_companies", "company_id"},
+		{"keyword", "id", "movie_keyword", "keyword_id"},
+	}
+	numeric := []struct{ table, col string }{
+		{"title", "kind_id"}, {"title", "production_year"},
+		{"movie_companies", "company_id"}, {"movie_companies", "company_type_id"},
+		{"movie_keyword", "keyword_id"},
+		{"movie_info", "info_type_id"},
+		{"movie_info_idx", "info_type_id"},
+		{"cast_info", "person_id"}, {"cast_info", "role_id"},
+	}
+	for _, nc := range numeric {
+		lo, hi, err := columnRange(db, nc.table, nc.col)
+		if err != nil {
+			return nil, err
+		}
+		g.numerics[nc.table] = append(g.numerics[nc.table], numericCol{nc.table, nc.col, lo, hi})
+	}
+	g.strings["company_name"] = []stringCol{
+		{"company_name", "country_code", "cc", 80},
+		{"company_name", "name", "company", 4000},
+	}
+	g.strings["movie_info"] = []stringCol{{"movie_info", "info", "info", 500}}
+	g.strings["movie_info_idx"] = []stringCol{{"movie_info_idx", "info", "rating", 100}}
+	g.strings["keyword"] = []stringCol{{"keyword", "keyword", "keyword", 8000}}
+	g.strings["title"] = []stringCol{{"title", "title", "title", 2000}}
+	return g, nil
+}
+
+// NewTPCHGenerator builds a generator for the synthetic TPC-H schema.
+func NewTPCHGenerator(db *catalog.Database, seed int64) (*Generator, error) {
+	g := &Generator{
+		rng:        rand.New(rand.NewSource(seed)),
+		StringProb: 0.25,
+		MaxJoins:   5,
+		numerics:   map[string][]numericCol{},
+		strings:    map[string][]stringCol{},
+	}
+	g.edges = []joinEdge{
+		{"orders", "o_orderkey", "lineitem", "l_orderkey"},
+		{"customer", "c_custkey", "orders", "o_custkey"},
+		{"nation", "n_nationkey", "customer", "c_nationkey"},
+		{"region", "r_regionkey", "nation", "n_regionkey"},
+		{"part", "p_partkey", "lineitem", "l_partkey"},
+		{"supplier", "s_suppkey", "lineitem", "l_suppkey"},
+		{"nation", "n_nationkey", "supplier", "s_nationkey"},
+		{"part", "p_partkey", "partsupp", "ps_partkey"},
+		{"supplier", "s_suppkey", "partsupp", "ps_suppkey"},
+	}
+	numeric := []struct{ table, col string }{
+		{"lineitem", "l_quantity"}, {"lineitem", "l_extendedprice"},
+		{"lineitem", "l_discount"}, {"lineitem", "l_shipdate"},
+		{"orders", "o_totalprice"}, {"orders", "o_orderdate"},
+		{"customer", "c_acctbal"},
+		{"part", "p_size"}, {"part", "p_retailprice"},
+		{"partsupp", "ps_availqty"}, {"partsupp", "ps_supplycost"},
+		{"supplier", "s_acctbal"},
+	}
+	for _, nc := range numeric {
+		lo, hi, err := columnRange(db, nc.table, nc.col)
+		if err != nil {
+			return nil, err
+		}
+		g.numerics[nc.table] = append(g.numerics[nc.table], numericCol{nc.table, nc.col, lo, hi})
+	}
+	g.strings["customer"] = []stringCol{{"customer", "c_mktsegment", "", 5}}
+	g.strings["orders"] = []stringCol{{"orders", "o_orderpriority", "", 5}}
+	g.strings["lineitem"] = []stringCol{{"lineitem", "l_returnflag", "", 3}}
+	g.strings["part"] = []stringCol{
+		{"part", "p_brand", "Brand", 25},
+		{"part", "p_type", "type", 150},
+	}
+	return g, nil
+}
+
+func columnRange(db *catalog.Database, table, col string) (int64, int64, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return 0, 0, err
+	}
+	vals, ok := t.Ints[col]
+	if !ok || len(vals) == 0 {
+		return 0, 0, fmt.Errorf("workload: %s.%s has no data", table, col)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, nil
+}
+
+// Generate produces n random SQL strings.
+func (g *Generator) Generate(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.GenerateOne()
+	}
+	return out
+}
+
+// GenerateOne produces one random query.
+func (g *Generator) GenerateOne() string {
+	joins := g.rng.Intn(g.MaxJoins + 1)
+
+	// Grow a connected table set along schema edges.
+	tables := []string{g.edges[g.rng.Intn(len(g.edges))].leftTable}
+	if g.rng.Intn(2) == 0 {
+		tables[0] = g.edges[g.rng.Intn(len(g.edges))].rightTable
+	}
+	in := map[string]bool{tables[0]: true}
+	var joinPreds []string
+	for len(tables) <= joins {
+		candidates := make([]joinEdge, 0, len(g.edges))
+		for _, e := range g.edges {
+			if in[e.leftTable] != in[e.rightTable] { // extends the set
+				candidates = append(candidates, e)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		e := candidates[g.rng.Intn(len(candidates))]
+		newTable := e.leftTable
+		if in[e.leftTable] {
+			newTable = e.rightTable
+		}
+		in[newTable] = true
+		tables = append(tables, newTable)
+		joinPreds = append(joinPreds, fmt.Sprintf("%s.%s = %s.%s",
+			e.leftTable, e.leftCol, e.rightTable, e.rightCol))
+	}
+
+	// Filters: 1-3 predicates over the chosen tables. Multi-join queries
+	// get a selective equality predicate first (as the paper's JOB-style
+	// queries do), which also keeps truth execution tractable.
+	var filters []string
+	if len(tables) >= 3 {
+		t := tables[g.rng.Intn(len(tables))]
+		if cols := g.numerics[t]; len(cols) > 0 {
+			c := cols[g.rng.Intn(len(cols))]
+			span := c.hi - c.lo
+			if span <= 0 {
+				span = 1
+			}
+			filters = append(filters, fmt.Sprintf("%s.%s = %d", c.table, c.col, c.lo+g.rng.Int63n(span+1)))
+		}
+	}
+	nf := 1 + g.rng.Intn(3)
+	for i := 0; i < nf; i++ {
+		t := tables[g.rng.Intn(len(tables))]
+		if p := g.predicateFor(t); p != "" {
+			filters = append(filters, p)
+		}
+	}
+
+	agg := g.aggregateFor(tables)
+	sqlStr := "SELECT " + agg + " FROM "
+	for i, t := range tables {
+		if i > 0 {
+			sqlStr += ", "
+		}
+		sqlStr += t
+	}
+	preds := append(joinPreds, filters...)
+	if len(preds) > 0 {
+		sqlStr += " WHERE " + preds[0]
+		for _, p := range preds[1:] {
+			sqlStr += " AND " + p
+		}
+	}
+	return sqlStr
+}
+
+// predicateFor returns one random predicate over table t ("" if the table
+// has no usable column of the drawn kind).
+func (g *Generator) predicateFor(t string) string {
+	if g.rng.Float64() < g.StringProb {
+		if cols := g.strings[t]; len(cols) > 0 {
+			return g.stringPredicate(cols[g.rng.Intn(len(cols))])
+		}
+	}
+	cols := g.numerics[t]
+	if len(cols) == 0 {
+		return ""
+	}
+	c := cols[g.rng.Intn(len(cols))]
+	span := c.hi - c.lo
+	if span <= 0 {
+		span = 1
+	}
+	v := c.lo + g.rng.Int63n(span+1)
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%s.%s < %d", c.table, c.col, v)
+	case 1:
+		return fmt.Sprintf("%s.%s > %d", c.table, c.col, v)
+	case 2:
+		return fmt.Sprintf("%s.%s = %d", c.table, c.col, v)
+	case 3:
+		lo := c.lo + g.rng.Int63n(span+1)
+		hi := lo + g.rng.Int63n(span/4+1)
+		return fmt.Sprintf("%s.%s BETWEEN %d AND %d", c.table, c.col, lo, hi)
+	default:
+		return fmt.Sprintf("%s.%s <= %d", c.table, c.col, v)
+	}
+}
+
+func (g *Generator) stringPredicate(c stringCol) string {
+	pick := func() string {
+		if c.prefix == "" {
+			// enumerated domain columns: sample a live value shape
+			switch c.col {
+			case "c_mktsegment":
+				return []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}[g.rng.Intn(5)]
+			case "o_orderpriority":
+				return []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}[g.rng.Intn(5)]
+			case "l_returnflag":
+				return []string{"R", "A", "N"}[g.rng.Intn(3)]
+			}
+			return "UNKNOWN"
+		}
+		return fmt.Sprintf("%s_%04d", c.prefix, g.rng.Intn(c.poolSize))
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("%s.%s = '%s'", c.table, c.col, pick())
+	case 1:
+		if c.prefix != "" {
+			return fmt.Sprintf("%s.%s LIKE '%s_%d%%'", c.table, c.col, c.prefix, g.rng.Intn(10))
+		}
+		return fmt.Sprintf("%s.%s = '%s'", c.table, c.col, pick())
+	default:
+		return fmt.Sprintf("%s.%s IN ('%s', '%s')", c.table, c.col, pick(), pick())
+	}
+}
+
+func (g *Generator) aggregateFor(tables []string) string {
+	if g.rng.Float64() < 0.75 {
+		return "COUNT(*)"
+	}
+	// aggregate over a numeric column of a participating table
+	for _, t := range tables {
+		if cols := g.numerics[t]; len(cols) > 0 {
+			c := cols[g.rng.Intn(len(cols))]
+			fn := []string{"SUM", "AVG", "MIN", "MAX"}[g.rng.Intn(4)]
+			return fmt.Sprintf("%s(%s.%s)", fn, c.table, c.col)
+		}
+	}
+	return "COUNT(*)"
+}
