@@ -1,0 +1,39 @@
+# Developer entry points. The repo is pure Go with no dependencies, so
+# every target is just a go-tool invocation.
+
+GO ?= go
+
+.PHONY: build test race bench bench-parallel vet
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: everything must build and pass.
+test: build
+	$(GO) test ./...
+
+# Race-detector run over the packages with concurrency on the hot path
+# (data-parallel training/inference and its numeric stack), plus the
+# public API. internal/core includes TestParallelTrainRaceSmoke, which
+# trains with Workers=4 so shard-parallel backward passes are exercised
+# under the detector. Use `make race-all` for the (slow) full sweep.
+race:
+	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor .
+
+# The experiments package replays full training runs; under the race
+# detector that exceeds go test's default 10m per-package timeout on
+# small machines, hence the explicit budget.
+.PHONY: race-all
+race-all:
+	$(GO) test -race -timeout 60m ./...
+
+# Paper tables/figures as benchmarks (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Data-parallel speedup curves: Predict/Fit by worker count.
+bench-parallel:
+	$(GO) test ./internal/core -run=XXX -bench 'BenchmarkPredict|BenchmarkFit' -benchmem
+
+vet:
+	$(GO) vet ./...

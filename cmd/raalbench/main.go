@@ -33,6 +33,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "global seed")
 		quick   = flag.Bool("quick", false, "small settings for a fast smoke run")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV data (figures only)")
+		workers = flag.Int("workers", 0, "training worker goroutines (0 = serial; results are identical for any value)")
+		shard   = flag.Int("shard", 0, "gradient-accumulation shard size (0 = whole batch)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,8 @@ func main() {
 		opt.Epochs = *epochs
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
+	opt.ShardSize = *shard
 
 	runners := experiments.Registry()
 	if *exp != "all" {

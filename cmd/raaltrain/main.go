@@ -27,6 +27,8 @@ func main() {
 		variant = flag.String("variant", "RAAL", "RAAL, NE-LSTM, NA-LSTM, or RAAC")
 		seed    = flag.Int64("seed", 1, "global seed")
 		out     = flag.String("out", "", "path to save the trained model (optional)")
+		workers = flag.Int("workers", 0, "training worker goroutines (0 = serial; results are identical for any value)")
+		shard   = flag.Int("shard", 0, "gradient-accumulation shard size (0 = whole batch)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,7 @@ func main() {
 	start = time.Now()
 	cm, report, err := raal.TrainCostModel(ds, v, raal.TrainOptions{
 		Epochs: *epochs, LR: *lr, Seed: *seed,
+		Workers: *workers, ShardSize: *shard,
 		Progress: func(epoch int, loss float64) {
 			fmt.Printf("  epoch %2d: loss %.4f\n", epoch+1, loss)
 		},

@@ -1,6 +1,7 @@
 package raal
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -26,6 +27,13 @@ type TrainOptions struct {
 	// becomes the held-out set reported by TrainCostModel.
 	TrainFrac float64
 	Seed      int64
+	// Workers and ShardSize enable data-parallel training: each
+	// mini-batch is split into ShardSize-sample shards whose gradients
+	// are computed on Workers goroutines and merged in shard order.
+	// Workers never changes the trained model; ShardSize fixes the shard
+	// boundaries (0 keeps each batch whole, the serial trainer).
+	Workers   int
+	ShardSize int
 	// Progress, if set, receives per-epoch training loss.
 	Progress func(epoch int, loss float64)
 }
@@ -76,6 +84,8 @@ func TrainCostModel(ds *Dataset, v Variant, opt TrainOptions) (*CostModel, *Trai
 		tc.LR = opt.LR
 	}
 	tc.Seed = opt.Seed
+	tc.Workers = opt.Workers
+	tc.ShardSize = opt.ShardSize
 	tc.Progress = opt.Progress
 
 	model, tr, err := core.Train(train, v, mc, tc)
@@ -104,13 +114,20 @@ func (cm *CostModel) Estimate(p *Plan, res Resources) float64 {
 	return cm.model.Predict([]*Sample{s})[0]
 }
 
-// EstimateBatch predicts costs for many (plan, resources) pairs at once.
+// EstimateBatch predicts costs for many (plan, resources) pairs at once,
+// scoring chunks across GOMAXPROCS worker goroutines.
 func (cm *CostModel) EstimateBatch(plans []*Plan, res Resources) []float64 {
+	return cm.EstimateBatchWith(plans, res, core.PredictOpts{})
+}
+
+// EstimateBatchWith is EstimateBatch with explicit data-parallelism
+// settings; predictions are identical for every opt.
+func (cm *CostModel) EstimateBatchWith(plans []*Plan, res Resources, opt core.PredictOpts) []float64 {
 	samples := make([]*Sample, len(plans))
 	for i, p := range plans {
 		samples[i] = cm.enc.EncodePlan(p, res)
 	}
-	return cm.model.Predict(samples)
+	return cm.model.PredictWith(samples, opt)
 }
 
 // SelectPlan returns the candidate with the lowest predicted cost and
@@ -194,6 +211,14 @@ func (cm *CostModel) Save(w io.Writer) error {
 
 // LoadCostModel reads a model previously written by Save.
 func LoadCostModel(r io.Reader) (*CostModel, error) {
+	// The stream holds several gob sections (encoder, model header,
+	// weights), each read by its own decoder; decoders wrap non-ByteReader
+	// inputs in private read-ahead buffers that steal bytes from the next
+	// section. Share one buffered reader so file-backed loads stay
+	// aligned.
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	enc, err := encode.LoadEncoder(r)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"raal/internal/encode"
@@ -205,6 +207,46 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	for i := range p1 {
 		if math.Abs(p1[i]-p2[i]) > 1e-12 {
 			t.Fatalf("restored model predicts differently at %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestSaveLoadFileRoundTrip goes through a real file: unlike a
+// bytes.Buffer, an *os.File is not an io.ByteReader, which used to make
+// the weight section's gob decoder read from a desynchronized stream.
+func TestSaveLoadFileRoundTrip(t *testing.T) {
+	samples := synthDataset(40, 8)
+	tc := quickTrain()
+	tc.Epochs = 2
+	m, _, err := Train(samples, RAAL(), testConfig(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.raal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	m2, err := LoadModel(in)
+	if err != nil {
+		t.Fatalf("loading model from file: %v", err)
+	}
+	p1 := m.Predict(samples[:10])
+	p2 := m2.Predict(samples[:10])
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("file-restored model predicts differently at %d: %v vs %v", i, p1[i], p2[i])
 		}
 	}
 }

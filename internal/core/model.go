@@ -1,11 +1,15 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"raal/internal/autodiff"
 	"raal/internal/encode"
@@ -216,21 +220,100 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var
 	return m.head.Forward(tp, tp.ConcatRows(feats...))
 }
 
-// Predict returns the estimated cost in seconds for each sample.
+// replica returns a model that shares m's weight matrices but owns private
+// gradient accumulators, so concurrent shards can run forward/backward on
+// independent tapes without racing on the shared nn.Param set. Params()
+// returns the replica's parameters in the same order as the original's,
+// which is what lets shard gradients be merged positionally.
+func (m *Model) replica() *Model {
+	r := &Model{Var: m.Var, Cfg: m.Cfg}
+	if m.lstm != nil {
+		r.lstm = m.lstm.ShareWeights()
+	}
+	if m.conv != nil {
+		r.conv = m.conv.ShareWeights()
+	}
+	if m.wq != nil {
+		r.wq, r.wk = m.wq.Shadow(), m.wk.Shadow()
+	}
+	if m.wr != nil {
+		r.wr, r.wrk = m.wr.Shadow(), m.wrk.Shadow()
+	}
+	r.head = m.head.ShareWeights()
+	return r
+}
+
+// PredictOpts tunes data-parallel inference. The zero value picks the
+// defaults: one chunk of 64 samples per tape, spread across GOMAXPROCS
+// worker goroutines. Predictions are bit-identical for every Workers and
+// ChunkSize setting — each sample's output depends only on its own rows,
+// so the decomposition is purely a throughput knob.
+type PredictOpts struct {
+	// Workers is the number of goroutines scoring chunks. <=0 means
+	// runtime.GOMAXPROCS(0); 1 reproduces the serial scorer.
+	Workers int
+	// ChunkSize is the number of samples per forward pass (per tape).
+	// <=0 means 64.
+	ChunkSize int
+}
+
+// Predict returns the estimated cost in seconds for each sample, using
+// the default data-parallel settings (see PredictOpts).
 func (m *Model) Predict(samples []*encode.Sample) []float64 {
+	return m.PredictWith(samples, PredictOpts{})
+}
+
+// PredictWith returns the estimated cost in seconds for each sample,
+// scoring independent chunks on a pool of worker goroutines. The model is
+// only read, so a single Model may serve many concurrent PredictWith
+// calls.
+func (m *Model) PredictWith(samples []*encode.Sample, opt PredictOpts) []float64 {
 	out := make([]float64, len(samples))
-	const chunk = 64
-	for lo := 0; lo < len(samples); lo += chunk {
-		hi := lo + chunk
-		if hi > len(samples) {
-			hi = len(samples)
-		}
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = 64
+	}
+	nChunks := (len(samples) + chunk - 1) / chunk
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	score := func(k int) {
+		lo := k * chunk
+		hi := min(lo+chunk, len(samples))
 		tp := autodiff.NewTape()
 		pred := m.forward(tp, samples[lo:hi])
 		for i := lo; i < hi; i++ {
 			out[i] = invTransform(pred.Value.At(i-lo, 0))
 		}
 	}
+
+	if workers <= 1 {
+		for k := 0; k < nChunks; k++ {
+			score(k)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= nChunks {
+					return
+				}
+				score(k)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -263,6 +346,15 @@ func (m *Model) Save(w io.Writer) error {
 
 // LoadModel reads a model previously written by Save.
 func LoadModel(r io.Reader) (*Model, error) {
+	// The stream holds two gob sections (header, then weights), each read
+	// by its own decoder. A gob.Decoder wraps any reader that is not an
+	// io.ByteReader in its own read-ahead buffer, which would consume
+	// bytes belonging to the next section — so give all sections one
+	// shared buffered reader. (bytes.Buffer is already a ByteReader,
+	// which is why only file-backed loads ever desynchronized.)
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding model header: %w", err)

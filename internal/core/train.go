@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"raal/internal/autodiff"
@@ -19,7 +20,26 @@ type TrainConfig struct {
 	LR       float64
 	ClipNorm float64
 	Seed     int64
-	// Quiet suppresses the per-epoch progress callback.
+	// Workers is the number of goroutines used for intra-batch data
+	// parallelism: each mini-batch is split into shards (see ShardSize),
+	// and shards run forward/backward concurrently on private tapes.
+	// <=0 or 1 trains serially. Workers never changes the result — shard
+	// boundaries depend only on ShardSize, and shard gradients are merged
+	// in shard order at a barrier — so any Workers value reproduces the
+	// Workers=1 loss curve bit for bit.
+	Workers int
+	// ShardSize is the number of samples per gradient-accumulation shard
+	// within a mini-batch. <=0 or >=Batch keeps each batch as a single
+	// shard, which reproduces the serial trainer exactly. Smaller shards
+	// expose parallelism to Workers; the summed shard gradients equal the
+	// full-batch gradient up to floating-point association, so changing
+	// ShardSize (unlike Workers) may perturb the trajectory at round-off
+	// scale.
+	ShardSize int
+	// Progress, if non-nil, is invoked after every epoch with the 0-based
+	// epoch index and that epoch's sample-weighted mean training loss
+	// (the same value appended to TrainResult.LossCurve). A nil Progress
+	// simply trains silently; there is no separate quiet switch.
 	Progress func(epoch int, loss float64)
 }
 
@@ -30,7 +50,7 @@ func DefaultTrainConfig() TrainConfig {
 
 // TrainResult reports what happened during training.
 type TrainResult struct {
-	LossCurve []float64 // mean MSE (log-cost scale) per epoch
+	LossCurve []float64 // sample-weighted mean MSE (log-cost scale) per epoch
 	Duration  time.Duration
 	Samples   int
 }
@@ -51,10 +71,31 @@ func Train(samples []*encode.Sample, v Variant, mc Config, tc TrainConfig) (*Mod
 	return m, res, nil
 }
 
+// shardRun is one gradient-accumulation shard of a mini-batch: a replica
+// model whose shadow parameters collect the shard's gradient, plus the
+// shard's sample count and loss from the most recent batch.
+type shardRun struct {
+	model  *Model
+	params []*nn.Param
+	n      int
+	loss   float64
+}
+
 // Fit trains the model in place on samples and returns the loss curve.
+//
+// Each mini-batch is split into fixed-size shards (tc.ShardSize); shards
+// run forward/backward concurrently on tc.Workers goroutines against
+// weight-sharing replicas, and their gradients are summed into the model's
+// parameters in shard order before the optimizer step. Because the shard
+// decomposition is independent of Workers and the reduction is ordered,
+// training is deterministic for a given (Seed, Batch, ShardSize)
+// regardless of how many workers execute it.
 func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no training samples")
+	}
+	if tc.Epochs <= 0 || tc.Batch <= 0 {
+		return nil, fmt.Errorf("core: invalid train config %+v", tc)
 	}
 	rng := rand.New(rand.NewSource(tc.Seed))
 	params := m.Params()
@@ -64,34 +105,50 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 		idx[i] = i
 	}
 
+	workers := tc.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	shardSize := tc.ShardSize
+	if shardSize <= 0 || shardSize > tc.Batch {
+		shardSize = tc.Batch
+	}
+	// One replica per shard of a full-size batch; short final batches use
+	// a prefix. Replicas share m's weights, so this allocates only
+	// gradient buffers.
+	maxShards := (tc.Batch + shardSize - 1) / shardSize
+	var shards []*shardRun
+	if maxShards > 1 {
+		shards = make([]*shardRun, maxShards)
+		for k := range shards {
+			r := m.replica()
+			shards[k] = &shardRun{model: r, params: r.Params()}
+		}
+	}
+
 	start := time.Now()
 	result := &TrainResult{Samples: len(samples)}
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
-		batches := 0
 		for lo := 0; lo < len(idx); lo += tc.Batch {
-			hi := lo + tc.Batch
-			if hi > len(idx) {
-				hi = len(idx)
+			hi := min(lo+tc.Batch, len(idx))
+			n := hi - lo
+			var batchLoss float64
+			if maxShards == 1 {
+				batchLoss = trainStep(m, samples, idx[lo:hi])
+			} else {
+				batchLoss = m.shardedStep(shards, samples, idx[lo:hi], shardSize, workers)
 			}
-			batch := make([]*encode.Sample, hi-lo)
-			target := tensor.New(hi-lo, 1)
-			for i := lo; i < hi; i++ {
-				batch[i-lo] = samples[idx[i]]
-				target.Set(i-lo, 0, transform(samples[idx[i]].CostSec))
-			}
-			tp := autodiff.NewTape()
-			loss := tp.MSE(m.forward(tp, batch), target)
-			tp.Backward(loss)
 			if tc.ClipNorm > 0 {
 				nn.ClipGradNorm(params, tc.ClipNorm)
 			}
 			opt.Step(params)
-			epochLoss += loss.Value.Data[0]
-			batches++
+			// Weight each batch by its size so a short final batch does
+			// not skew the epoch mean.
+			epochLoss += batchLoss * float64(n)
 		}
-		epochLoss /= float64(batches)
+		epochLoss /= float64(len(idx))
 		result.LossCurve = append(result.LossCurve, epochLoss)
 		if tc.Progress != nil {
 			tc.Progress(epoch, epochLoss)
@@ -99,6 +156,78 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 	}
 	result.Duration = time.Since(start)
 	return result, nil
+}
+
+// trainStep runs one forward/backward pass of the selected samples on
+// model, accumulating gradients into its parameters, and returns the mean
+// MSE loss of the pass.
+func trainStep(model *Model, samples []*encode.Sample, sel []int) float64 {
+	batch := make([]*encode.Sample, len(sel))
+	target := tensor.New(len(sel), 1)
+	for i, j := range sel {
+		batch[i] = samples[j]
+		target.Set(i, 0, transform(samples[j].CostSec))
+	}
+	tp := autodiff.NewTape()
+	loss := tp.MSE(model.forward(tp, batch), target)
+	tp.Backward(loss)
+	return loss.Value.Data[0]
+}
+
+// shardedStep splits the selected batch into fixed shardSize shards, runs
+// them concurrently on up to `workers` goroutines, then merges the shard
+// gradients into m's parameters in shard order (an ordered reduction, so
+// the result is identical for any worker count). It returns the batch's
+// sample-weighted mean loss.
+func (m *Model) shardedStep(shards []*shardRun, samples []*encode.Sample, sel []int, shardSize, workers int) float64 {
+	nShards := (len(sel) + shardSize - 1) / shardSize
+	run := func(k int) {
+		lo := k * shardSize
+		hi := min(lo+shardSize, len(sel))
+		sh := shards[k]
+		sh.n = hi - lo
+		sh.loss = trainStep(sh.model, samples, sel[lo:hi])
+	}
+	if workers <= 1 || nShards == 1 {
+		for k := 0; k < nShards; k++ {
+			run(k)
+		}
+	} else {
+		if workers > nShards {
+			workers = nShards
+		}
+		tasks := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range tasks {
+					run(k)
+				}
+			}()
+		}
+		for k := 0; k < nShards; k++ {
+			tasks <- k
+		}
+		close(tasks)
+		wg.Wait()
+	}
+
+	// Barrier reached: every shard holds ∂(its mean loss)/∂θ in its shadow
+	// params. Scaling shard k by n_k/n while summing yields the gradient
+	// of the batch's sample-weighted mean loss, matching the single-shard
+	// full-batch MSE gradient up to floating-point association.
+	n := float64(len(sel))
+	params := m.Params()
+	var batchLoss float64
+	for k := 0; k < nShards; k++ {
+		sh := shards[k]
+		w := float64(sh.n) / n
+		nn.AccumulateGrads(params, sh.params, w)
+		batchLoss += w * sh.loss
+	}
+	return batchLoss
 }
 
 // Evaluate computes the paper's metrics of the model on samples: RE, COR,

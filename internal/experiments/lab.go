@@ -36,6 +36,11 @@ type Options struct {
 	Epochs int
 	LR     float64
 	Seed   int64
+	// Workers / ShardSize enable data-parallel training (see
+	// core.TrainConfig). Zero keeps the serial trainer; Workers alone
+	// never changes results, so experiments stay reproducible.
+	Workers   int
+	ShardSize int
 }
 
 // DefaultOptions returns the full-size harness settings.
@@ -181,6 +186,8 @@ func (l *Lab) TrainConfig() core.TrainConfig {
 	tc.Epochs = l.Opt.Epochs
 	tc.LR = l.Opt.LR
 	tc.Seed = l.Opt.Seed
+	tc.Workers = l.Opt.Workers
+	tc.ShardSize = l.Opt.ShardSize
 	return tc
 }
 

@@ -64,3 +64,9 @@ func (c *Conv1D) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 
 // Params returns the layer's trainable parameters.
 func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ShareWeights returns a replica that reads the same weight matrices but
+// accumulates gradients into its own buffers (see Param.Shadow).
+func (c *Conv1D) ShareWeights() *Conv1D {
+	return &Conv1D{In: c.In, Filters: c.Filters, Width: c.Width, W: c.W.Shadow(), B: c.B.Shadow(), Act: c.Act}
+}

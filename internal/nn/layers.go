@@ -78,6 +78,12 @@ func (d *Dense) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 // Params returns the layer's trainable parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
+// ShareWeights returns a replica that reads the same weight matrices but
+// accumulates gradients into its own buffers (see Param.Shadow).
+func (d *Dense) ShareWeights() *Dense {
+	return &Dense{W: d.W.Shadow(), B: d.B.Shadow(), Act: d.Act}
+}
+
 // MLP is a stack of Dense layers.
 type MLP struct {
 	Layers []*Dense
@@ -115,4 +121,14 @@ func (m *MLP) Params() []*Param {
 		ps = append(ps, l.Params()...)
 	}
 	return ps
+}
+
+// ShareWeights returns a replica that reads the same weight matrices but
+// accumulates gradients into its own buffers (see Param.Shadow).
+func (m *MLP) ShareWeights() *MLP {
+	r := &MLP{Layers: make([]*Dense, len(m.Layers))}
+	for i, l := range m.Layers {
+		r.Layers[i] = l.ShareWeights()
+	}
+	return r
 }

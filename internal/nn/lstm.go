@@ -78,3 +78,9 @@ func (l *LSTM) Forward(tp *autodiff.Tape, xs []*autodiff.Var) []*autodiff.Var {
 
 // Params returns the LSTM's trainable parameters.
 func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// ShareWeights returns a replica that reads the same weight matrices but
+// accumulates gradients into its own buffers (see Param.Shadow).
+func (l *LSTM) ShareWeights() *LSTM {
+	return &LSTM{In: l.In, Hidden: l.Hidden, Wx: l.Wx.Shadow(), Wh: l.Wh.Shadow(), B: l.B.Shadow()}
+}

@@ -36,6 +36,53 @@ func (p *Param) ZeroGrad() {
 	}
 }
 
+// Shadow returns a parameter that shares p's weight matrix but owns an
+// independent gradient accumulator. Data-parallel training gives each
+// shard its own shadow set, so concurrent backward passes never touch the
+// same gradient buffer; the shadows are then summed into the base set at a
+// barrier (AccumulateGrads), which keeps the reduction ordered and
+// deterministic instead of serializing every += behind a mutex.
+func (p *Param) Shadow() *Param {
+	return &Param{Name: p.Name, Var: (&autodiff.Tape{}).Param(p.Var.Value)}
+}
+
+// ShadowParams returns a shadow (shared weights, private gradients) of
+// every parameter in params, in the same order.
+func ShadowParams(params []*Param) []*Param {
+	out := make([]*Param, len(params))
+	for i, p := range params {
+		out[i] = p.Shadow()
+	}
+	return out
+}
+
+// AccumulateGrads adds scale times each src gradient into the matching dst
+// gradient and clears src, leaving the shadow set ready for the next
+// shard. dst and src must be parallel slices (same parameters in the same
+// order, as produced by ShadowParams); src entries that never accumulated
+// a gradient are skipped. Callers merge shards in a fixed order so the
+// floating-point reduction — and therefore training — is deterministic
+// for any worker count.
+func AccumulateGrads(dst, src []*Param, scale float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: AccumulateGrads length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, s := range src {
+		if s.Var.Grad == nil {
+			continue
+		}
+		d := dst[i]
+		if !d.Var.Value.SameShape(s.Var.Value) {
+			panic(fmt.Sprintf("nn: AccumulateGrads shape mismatch for %q", d.Name))
+		}
+		if d.Var.Grad == nil {
+			d.Var.Grad = tensor.New(d.Var.Value.Rows, d.Var.Value.Cols)
+		}
+		tensor.AxpyInPlace(d.Var.Grad, scale, s.Var.Grad)
+		s.ZeroGrad()
+	}
+}
+
 // Xavier returns Glorot-uniform initialized weights for a fanIn×fanOut
 // matrix.
 func Xavier(fanIn, fanOut int, rng *rand.Rand) *tensor.Matrix {

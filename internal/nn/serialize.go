@@ -43,6 +43,10 @@ func Load(r io.Reader, params []*Param) error {
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return fmt.Errorf("nn: decoding snapshot: %w", err)
 	}
+	if len(s.Rows) != len(s.Names) || len(s.Cols) != len(s.Names) || len(s.Values) != len(s.Names) {
+		return fmt.Errorf("nn: corrupt snapshot: %d names but %d/%d/%d rows/cols/values",
+			len(s.Names), len(s.Rows), len(s.Cols), len(s.Values))
+	}
 	byName := make(map[string]int, len(s.Names))
 	for i, n := range s.Names {
 		byName[n] = i
@@ -56,6 +60,10 @@ func Load(r io.Reader, params []*Param) error {
 		if s.Rows[i] != v.Rows || s.Cols[i] != v.Cols {
 			return fmt.Errorf("nn: parameter %q shape %dx%d, snapshot has %dx%d",
 				p.Name, v.Rows, v.Cols, s.Rows[i], s.Cols[i])
+		}
+		if len(s.Values[i]) != s.Rows[i]*s.Cols[i] {
+			return fmt.Errorf("nn: parameter %q: snapshot holds %d values for a %dx%d matrix (truncated or corrupt)",
+				p.Name, len(s.Values[i]), s.Rows[i], s.Cols[i])
 		}
 		copy(v.Data, s.Values[i])
 	}

@@ -64,6 +64,9 @@ type (
 	CostBreakdown = sparksim.CostBreakdown
 	// TLSTM is the tree-LSTM RDBMS cost model baseline.
 	TLSTM = baselines.TLSTM
+	// PredictOpts tunes data-parallel inference (worker count and samples
+	// per forward pass). The zero value uses GOMAXPROCS workers.
+	PredictOpts = core.PredictOpts
 )
 
 // Model architecture constructors (paper Sec. IV-D and ablations).

@@ -3,6 +3,8 @@ package raal
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -136,6 +138,46 @@ func TestSelectPlanEmpty(t *testing.T) {
 	_, _, cm := sharedSystem(t)
 	if p, _ := cm.SelectPlan(nil, DefaultResources()); p != nil {
 		t.Fatal("empty candidate set should return nil")
+	}
+}
+
+// TestCostModelSaveLoadFile round-trips through an actual file, the way
+// raaltrain -out / raalquery -model do. Regression test: an *os.File is
+// not an io.ByteReader, so each gob section's decoder used to wrap it in
+// its own read-ahead buffer and desynchronize the following sections —
+// bytes.Buffer round trips always worked while file loads always failed.
+func TestCostModelSaveLoadFile(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	path := filepath.Join(t.TempDir(), "model.raal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	restored, err := LoadCostModel(in)
+	if err != nil {
+		t.Fatalf("loading model from file: %v", err)
+	}
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResources()
+	a := cm.Estimate(plans[0], res)
+	b := restored.Estimate(plans[0], res)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("file-restored model predicts %v, original %v", b, a)
 	}
 }
 
