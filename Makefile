@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel vet
+.PHONY: build test race bench bench-parallel vet fuzz check
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,14 @@ test: build
 	$(GO) test ./...
 
 # Race-detector run over the packages with concurrency on the hot path
-# (data-parallel training/inference and its numeric stack), plus the
-# public API. internal/core includes TestParallelTrainRaceSmoke, which
-# trains with Workers=4 so shard-parallel backward passes are exercised
-# under the detector. Use `make race-all` for the (slow) full sweep.
+# (data-parallel training/inference, the serving layer, and the numeric
+# stack), plus the public API. internal/core includes
+# TestParallelTrainRaceSmoke, which trains with Workers=4 so
+# shard-parallel backward passes are exercised under the detector;
+# internal/serve includes TestConcurrentRequestsRaceClean. Use
+# `make race-all` for the (slow) full sweep.
 race:
-	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor .
+	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve .
 
 # The experiments package replays full training runs; under the race
 # detector that exceeds go test's default 10m per-package timeout on
@@ -37,3 +39,13 @@ bench-parallel:
 
 vet:
 	$(GO) vet ./...
+
+# Short fixed-budget fuzz of the SQL parser (the seed corpus plus any
+# committed regression inputs also replay under plain `go test`).
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/sql -run=XXX -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+
+# The pre-merge gate: static checks, the full test suite, and a fuzz
+# smoke of the parser.
+check: vet test fuzz

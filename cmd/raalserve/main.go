@@ -1,0 +1,151 @@
+// Command raalserve exposes cost estimation over HTTP behind the full
+// robustness stack (internal/serve): bounded admission, per-request
+// deadlines, panic isolation, and graceful degradation to the GPSJ
+// analytical estimator whenever the deep model fails.
+//
+// Usage:
+//
+//	raalserve -model model.raal                       # deep model + GPSJ fallback
+//	raalserve                                         # analytical-only serving
+//	raalserve -deadline 200ms -on-deadline fail       # 504 instead of fallback
+//
+// Endpoints:
+//
+//	POST /estimate  {"sql": "...", "executors": 2, "cores": 2, "mem_mb": 4096}
+//	POST /select    same body; prices candidate plans, returns the argmin
+//	GET  /healthz   liveness
+//	GET  /readyz    readiness (503 once draining)
+//
+// SIGINT/SIGTERM starts a graceful shutdown: readiness flips, in-flight
+// requests drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"raal"
+	"raal/internal/physical"
+	"raal/internal/serve"
+	"raal/internal/sparksim"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		bench      = flag.String("bench", "imdb", "benchmark: imdb or tpch")
+		scale      = flag.Float64("scale", 0.1, "synthetic data scale factor")
+		seed       = flag.Int64("seed", 1, "global seed")
+		modelPath  = flag.String("model", "", "trained cost model (raaltrain -out); empty serves GPSJ analytical estimates only")
+		conc       = flag.Int("concurrency", 0, "max concurrent estimations (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "admission queue depth beyond the concurrency slots (429 when full)")
+		deadline   = flag.Duration("deadline", 500*time.Millisecond, "per-request estimation budget (0 = none)")
+		onDeadline = flag.String("on-deadline", "fallback", "deadline-miss policy: fallback (degrade to GPSJ) or fail (504)")
+		candidates = flag.Int("max-candidates", 3, "candidate plans priced by /select")
+		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	policy := serve.FallbackOnDeadline
+	switch *onDeadline {
+	case "fallback":
+	case "fail":
+		policy = serve.FailOnDeadline
+	default:
+		log.Fatalf("raalserve: -on-deadline must be fallback or fail, got %q", *onDeadline)
+	}
+
+	sys, err := raal.Open(raal.Benchmark(*bench), *scale, *seed)
+	if err != nil {
+		log.Fatalf("raalserve: opening benchmark: %v", err)
+	}
+	gpsj := raal.NewGPSJBaseline()
+
+	cfg := serve.Config{
+		Fallback: func(_ context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+			return gpsj.Estimate(p, res), nil
+		},
+		Concurrency: *conc,
+		QueueDepth:  *queue,
+		Deadline:    *deadline,
+		OnDeadline:  policy,
+	}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatalf("raalserve: %v", err)
+		}
+		cm, err := raal.LoadCostModel(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("raalserve: loading model: %v", err)
+		}
+		cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+			return cm.EstimateCtx(ctx, p, res)
+		}
+		cfg.DeepBatch = func(ctx context.Context, plans []*physical.Plan, res sparksim.Resources) ([]float64, error) {
+			return cm.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
+		}
+		log.Printf("raalserve: serving %s model from %s (GPSJ fallback armed)", cm.Variant().Name, *modelPath)
+	} else {
+		log.Printf("raalserve: no -model given; serving GPSJ analytical estimates only")
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatalf("raalserve: %v", err)
+	}
+
+	// The planning substrate (parser → binder → planner → cardinality
+	// estimator) is not concurrency-hardened, so serialize it; admission
+	// control already bounds the expensive estimation stage.
+	var planMu sync.Mutex
+	handler, err := serve.NewHandler(srv, serve.HTTPConfig{
+		Planner: func(sql string) ([]*physical.Plan, error) {
+			planMu.Lock()
+			defer planMu.Unlock()
+			return sys.Plan(sql)
+		},
+		MaxCandidates: *candidates,
+	})
+	if err != nil {
+		log.Fatalf("raalserve: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		log.Printf("raalserve: listening on %s (%s scale %g, concurrency %d, queue %d, deadline %v, on-deadline %s)",
+			*addr, *bench, *scale, *conc, *queue, *deadline, *onDeadline)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("raalserve: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("raalserve: %v — draining (budget %v)", sig, *drainGrace)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := handler.Shutdown(ctx); err != nil {
+		log.Printf("raalserve: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("raalserve: http shutdown: %v", err)
+	}
+	fmt.Println("raalserve: stopped")
+}

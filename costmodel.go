@@ -2,12 +2,21 @@ package raal
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 
 	"raal/internal/core"
 	"raal/internal/encode"
 	"raal/internal/workload"
+)
+
+// Cost-model files open with a magic string and format version so that
+// loading a truncated, corrupt, or non-model file fails with a clear
+// error instead of an opaque gob failure (see core.ReadHeader).
+const (
+	costModelMagic        = "RAALcm"
+	costModelVersion byte = 1
 )
 
 // CostModel is a trained end-to-end cost estimator: a fitted feature
@@ -114,6 +123,17 @@ func (cm *CostModel) Estimate(p *Plan, res Resources) float64 {
 	return cm.model.Predict([]*Sample{s})[0]
 }
 
+// EstimateCtx is Estimate with cooperative cancellation: a cancelled or
+// expired context aborts the forward pass boundary and returns ctx.Err().
+func (cm *CostModel) EstimateCtx(ctx context.Context, p *Plan, res Resources) (float64, error) {
+	s := cm.enc.EncodePlan(p, res)
+	preds, err := cm.model.PredictCtx(ctx, []*Sample{s}, core.PredictOpts{})
+	if err != nil {
+		return 0, err
+	}
+	return preds[0], nil
+}
+
 // EstimateBatch predicts costs for many (plan, resources) pairs at once,
 // scoring chunks across GOMAXPROCS worker goroutines.
 func (cm *CostModel) EstimateBatch(plans []*Plan, res Resources) []float64 {
@@ -130,6 +150,18 @@ func (cm *CostModel) EstimateBatchWith(plans []*Plan, res Resources, opt core.Pr
 	return cm.model.PredictWith(samples, opt)
 }
 
+// EstimateBatchCtx is EstimateBatchWith with cooperative cancellation: a
+// cancelled or expired context aborts scoring within one chunk and
+// returns ctx.Err(). With a live context the predictions are
+// bit-identical to EstimateBatchWith.
+func (cm *CostModel) EstimateBatchCtx(ctx context.Context, plans []*Plan, res Resources, opt core.PredictOpts) ([]float64, error) {
+	samples := make([]*Sample, len(plans))
+	for i, p := range plans {
+		samples[i] = cm.enc.EncodePlan(p, res)
+	}
+	return cm.model.PredictCtx(ctx, samples, opt)
+}
+
 // SelectPlan returns the candidate with the lowest predicted cost and
 // that prediction. A nil plan is returned only for an empty candidate set.
 func (cm *CostModel) SelectPlan(plans []*Plan, res Resources) (*Plan, float64) {
@@ -137,13 +169,22 @@ func (cm *CostModel) SelectPlan(plans []*Plan, res Resources) (*Plan, float64) {
 		return nil, 0
 	}
 	preds := cm.EstimateBatch(plans, res)
-	best := 0
-	for i := range preds {
-		if preds[i] < preds[best] {
-			best = i
-		}
-	}
+	best := argmin(preds)
 	return plans[best], preds[best]
+}
+
+// SelectPlanCtx is SelectPlan with cooperative cancellation. As with
+// SelectPlan, an empty candidate set yields a nil plan and no error.
+func (cm *CostModel) SelectPlanCtx(ctx context.Context, plans []*Plan, res Resources) (*Plan, float64, error) {
+	if len(plans) == 0 {
+		return nil, 0, nil
+	}
+	preds, err := cm.EstimateBatchCtx(ctx, plans, res, core.PredictOpts{})
+	if err != nil {
+		return nil, 0, err
+	}
+	best := argmin(preds)
+	return plans[best], preds[best], nil
 }
 
 // RecommendResources searches a grid of candidate allocations for the one
@@ -152,21 +193,54 @@ func (cm *CostModel) SelectPlan(plans []*Plan, res Resources) (*Plan, float64) {
 // with a resource-aware cost model the search is a batched inference).
 // It returns the winning allocation and its predicted cost.
 func (cm *CostModel) RecommendResources(p *Plan, grid []Resources) (Resources, float64) {
+	return cm.RecommendResourcesWith(p, grid, core.PredictOpts{})
+}
+
+// RecommendResourcesWith is RecommendResources with explicit
+// data-parallelism settings; the recommendation is identical for every
+// opt (the grid is scored through the same worker-pool path as
+// EstimateBatchWith).
+func (cm *CostModel) RecommendResourcesWith(p *Plan, grid []Resources, opt core.PredictOpts) (Resources, float64) {
 	if len(grid) == 0 {
 		return Resources{}, 0
 	}
+	preds := cm.model.PredictWith(cm.gridSamples(p, grid), opt)
+	best := argmin(preds)
+	return grid[best], preds[best]
+}
+
+// RecommendResourcesCtx is RecommendResources with cooperative
+// cancellation; a cancelled or expired context aborts the grid sweep
+// within one chunk and returns ctx.Err().
+func (cm *CostModel) RecommendResourcesCtx(ctx context.Context, p *Plan, grid []Resources) (Resources, float64, error) {
+	if len(grid) == 0 {
+		return Resources{}, 0, nil
+	}
+	preds, err := cm.model.PredictCtx(ctx, cm.gridSamples(p, grid), core.PredictOpts{})
+	if err != nil {
+		return Resources{}, 0, err
+	}
+	best := argmin(preds)
+	return grid[best], preds[best], nil
+}
+
+func (cm *CostModel) gridSamples(p *Plan, grid []Resources) []*Sample {
 	samples := make([]*Sample, len(grid))
 	for i, res := range grid {
 		samples[i] = cm.enc.EncodePlan(p, res)
 	}
-	preds := cm.model.Predict(samples)
+	return samples
+}
+
+// argmin returns the index of the smallest value (first on ties).
+func argmin(xs []float64) int {
 	best := 0
-	for i := range preds {
-		if preds[i] < preds[best] {
+	for i := range xs {
+		if xs[i] < xs[best] {
 			best = i
 		}
 	}
-	return grid[best], preds[best]
+	return best
 }
 
 // DefaultResourceGrid enumerates the standard allocation lattice
@@ -201,15 +275,20 @@ func (cm *CostModel) EncodeDataset(ds *Dataset) []*Sample {
 	return ds.Encode(cm.enc)
 }
 
-// Save writes the encoder and network weights to w.
+// Save writes the magic header, encoder, and network weights to w.
 func (cm *CostModel) Save(w io.Writer) error {
+	if err := core.WriteHeader(w, costModelMagic, costModelVersion); err != nil {
+		return err
+	}
 	if err := cm.enc.Save(w); err != nil {
 		return err
 	}
 	return cm.model.Save(w)
 }
 
-// LoadCostModel reads a model previously written by Save.
+// LoadCostModel reads a model previously written by Save. Truncated,
+// corrupt, foreign, and version-mismatched files are rejected with
+// descriptive errors — never a panic, never an opaque gob failure.
 func LoadCostModel(r io.Reader) (*CostModel, error) {
 	// The stream holds several gob sections (encoder, model header,
 	// weights), each read by its own decoder; decoders wrap non-ByteReader
@@ -219,9 +298,12 @@ func LoadCostModel(r io.Reader) (*CostModel, error) {
 	if _, ok := r.(io.ByteReader); !ok {
 		r = bufio.NewReader(r)
 	}
+	if err := core.ReadHeader(r, costModelMagic, costModelVersion, "cost model"); err != nil {
+		return nil, err
+	}
 	enc, err := encode.LoadEncoder(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("raal: loading cost-model encoder section (truncated or corrupt file): %w", err)
 	}
 	model, err := core.LoadModel(r)
 	if err != nil {

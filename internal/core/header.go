@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Model files start with a short plain-bytes header — a magic string
+// identifying the format plus a one-byte version — written before any gob
+// section. gob streams carry no self-identification at all: feeding a
+// truncated, corrupt, or unrelated file to a decoder yields errors like
+// "gob: unknown type id" deep inside the payload. The header turns those
+// into immediate, descriptive rejections, and gives the format room to
+// evolve (a version bump is a one-line change on both sides).
+const (
+	// ModelMagic opens a bare network file (core.Model.Save).
+	ModelMagic = "RAALnet"
+	// ModelVersion is the current bare-network format version.
+	ModelVersion byte = 1
+)
+
+// WriteHeader writes a format header (magic string + version byte) to w.
+func WriteHeader(w io.Writer, magic string, version byte) error {
+	if _, err := w.Write(append([]byte(magic), version)); err != nil {
+		return fmt.Errorf("core: writing %s header: %w", magic, err)
+	}
+	return nil
+}
+
+// ReadHeader consumes and validates a format header. what names the file
+// kind for error messages ("model", "cost model"). The three failure modes
+// are distinguished: truncation, foreign/bad magic (including pre-header
+// v0 files), and a version this build does not read.
+func ReadHeader(r io.Reader, magic string, version byte, what string) error {
+	buf := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("core: not a RAAL %s file: truncated before the %d-byte header (%v)",
+			what, len(magic)+1, err)
+	}
+	if string(buf[:len(magic)]) != magic {
+		return fmt.Errorf("core: not a RAAL %s file: bad magic %q (want %q) — "+
+			"either a foreign file or a pre-versioned v0 save; v0 files must be re-saved by a current build",
+			what, buf[:len(magic)], magic)
+	}
+	if got := buf[len(magic)]; got != version {
+		return fmt.Errorf("core: RAAL %s file version mismatch: file is v%d, this build reads v%d",
+			what, got, version)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -268,6 +269,20 @@ func (m *Model) Predict(samples []*encode.Sample) []float64 {
 // only read, so a single Model may serve many concurrent PredictWith
 // calls.
 func (m *Model) PredictWith(samples []*encode.Sample, opt PredictOpts) []float64 {
+	out, _ := m.PredictCtx(context.Background(), samples, opt) // Background never cancels
+	return out
+}
+
+// PredictCtx is PredictWith with cooperative cancellation: the context is
+// consulted once per chunk, so a cancelled or expired context aborts the
+// batch within one forward pass and returns ctx.Err() (context.Canceled or
+// context.DeadlineExceeded) with nil predictions. An un-cancellable
+// context adds only a nil check per chunk — predictions are bit-identical
+// to PredictWith for every PredictOpts setting.
+func (m *Model) PredictCtx(ctx context.Context, samples []*encode.Sample, opt PredictOpts) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(samples))
 	chunk := opt.ChunkSize
 	if chunk <= 0 {
@@ -294,17 +309,25 @@ func (m *Model) PredictWith(samples []*encode.Sample, opt PredictOpts) []float64
 
 	if workers <= 1 {
 		for k := 0; k < nChunks; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			score(k)
 		}
-		return out
+		return out, nil
 	}
 	var next atomic.Int64
+	var aborted atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					aborted.Store(true)
+					return
+				}
 				k := int(next.Add(1)) - 1
 				if k >= nChunks {
 					return
@@ -314,7 +337,10 @@ func (m *Model) PredictWith(samples []*encode.Sample, opt PredictOpts) []float64
 		}()
 	}
 	wg.Wait()
-	return out
+	if aborted.Load() {
+		return nil, ctx.Err()
+	}
+	return out, nil
 }
 
 // transform maps a cost in seconds to the training scale; the models
@@ -336,15 +362,20 @@ type modelSnapshot struct {
 	Cfg Config
 }
 
-// Save writes the model (variant, config, weights) to w.
+// Save writes the model (magic header, variant, config, weights) to w.
 func (m *Model) Save(w io.Writer) error {
+	if err := WriteHeader(w, ModelMagic, ModelVersion); err != nil {
+		return err
+	}
 	if err := gob.NewEncoder(w).Encode(modelSnapshot{Var: m.Var, Cfg: m.Cfg}); err != nil {
 		return fmt.Errorf("core: encoding model header: %w", err)
 	}
 	return nn.Save(w, m.Params())
 }
 
-// LoadModel reads a model previously written by Save.
+// LoadModel reads a model previously written by Save. Truncated, corrupt,
+// foreign, and version-mismatched files are rejected with descriptive
+// errors rather than opaque gob failures or panics.
 func LoadModel(r io.Reader) (*Model, error) {
 	// The stream holds two gob sections (header, then weights), each read
 	// by its own decoder. A gob.Decoder wraps any reader that is not an
@@ -355,13 +386,40 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if _, ok := r.(io.ByteReader); !ok {
 		r = bufio.NewReader(r)
 	}
+	if err := ReadHeader(r, ModelMagic, ModelVersion, "model"); err != nil {
+		return nil, err
+	}
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: decoding model header: %w", err)
+		return nil, fmt.Errorf("core: decoding model header (truncated or corrupt model file): %w", err)
+	}
+	if err := snap.Cfg.validate(); err != nil {
+		return nil, err
 	}
 	m := NewModel(snap.Var, snap.Cfg)
 	if err := nn.Load(r, m.Params()); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: loading model weights (truncated or corrupt model file): %w", err)
 	}
 	return m, nil
+}
+
+// validate rejects decoded configurations whose dimensions could not have
+// come from a real save — NewModel would panic allocating them otherwise,
+// so a corrupt (but gob-parseable) header must be caught here.
+func (c Config) validate() error {
+	switch {
+	case c.SemDim <= 0 || c.SemDim > 1<<20:
+		return fmt.Errorf("core: corrupt model file: semantic dim %d out of range", c.SemDim)
+	case c.MaxNodes <= 0 || c.MaxNodes > 1<<20:
+		return fmt.Errorf("core: corrupt model file: max nodes %d out of range", c.MaxNodes)
+	case c.ResDim <= 0 || c.ResDim > 1<<20:
+		return fmt.Errorf("core: corrupt model file: resource dim %d out of range", c.ResDim)
+	case c.StatsDim < 0 || c.StatsDim > 1<<20:
+		return fmt.Errorf("core: corrupt model file: stats dim %d out of range", c.StatsDim)
+	case c.Hidden <= 0 || c.Hidden > 1<<20:
+		return fmt.Errorf("core: corrupt model file: hidden dim %d out of range", c.Hidden)
+	case c.K <= 0 || c.K > 1<<20:
+		return fmt.Errorf("core: corrupt model file: attention dim %d out of range", c.K)
+	}
+	return nil
 }

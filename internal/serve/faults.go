@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// FaultConfig deterministically injects failures into the deep-estimation
+// path. Each admitted request carries a monotonically increasing index
+// (1-based); whether a fault fires on request i is a pure function of
+// (Seed, i), so a fixed seed replays the exact same failure pattern run
+// after run — the property the fault-injection test suite relies on.
+//
+// Faults fire inside the recover/deadline boundary, exactly where a real
+// model failure would: an injected panic exercises panic isolation, an
+// injected delay exercises the deadline path, an injected error exercises
+// plain degradation.
+type FaultConfig struct {
+	// Seed keys the per-request decisions.
+	Seed int64
+	// PanicProb / ErrorProb / DelayProb are per-request probabilities in
+	// [0, 1]; 1 fires on every request, 0 never. The three decisions are
+	// independent (separate hash streams).
+	PanicProb float64
+	ErrorProb float64
+	DelayProb float64
+	// Delay is how long an injected delay stalls the deep path. The
+	// stall honors context cancellation, like a slow-but-cooperative
+	// model.
+	Delay time.Duration
+}
+
+// Fault-stream identifiers: each fault kind draws from its own hash
+// stream so the probabilities stay independent.
+const (
+	streamDelay uint64 = 1
+	streamError uint64 = 2
+	streamPanic uint64 = 3
+)
+
+// Fires reports which faults hit request idx: a pure, replayable function
+// of the seed and index. Exposed so tests can predict the pattern.
+func (f *FaultConfig) Fires(idx uint64) (delay, errFault, panicFault bool) {
+	if f == nil {
+		return false, false, false
+	}
+	return f.roll(idx, streamDelay) < f.DelayProb,
+		f.roll(idx, streamError) < f.ErrorProb,
+		f.roll(idx, streamPanic) < f.PanicProb
+}
+
+// apply runs the faults chosen for request idx: delay first (a slow
+// model), then error, then panic. nil receivers inject nothing.
+func (f *FaultConfig) apply(ctx context.Context, idx uint64) error {
+	delay, errFault, panicFault := f.Fires(idx)
+	if delay {
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if errFault {
+		return fmt.Errorf("serve: injected error on request %d", idx)
+	}
+	if panicFault {
+		panic(fmt.Sprintf("serve: injected panic on request %d", idx))
+	}
+	return nil
+}
+
+// roll maps (seed, idx, stream) to a uniform value in [0, 1) via
+// splitmix64 — stateless, so concurrent requests never contend.
+func (f *FaultConfig) roll(idx, stream uint64) float64 {
+	h := splitmix64(splitmix64(uint64(f.Seed)^stream*0x9E3779B97F4A7C15) ^ idx)
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

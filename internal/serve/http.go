@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"raal/internal/physical"
+	"raal/internal/sparksim"
+)
+
+// PlanFunc turns a SQL query into candidate physical plans (in practice
+// raal.System.Plan). Errors are treated as client errors (HTTP 400): on
+// this substrate planning fails only on unparsable SQL or unknown
+// tables/columns.
+type PlanFunc func(sql string) ([]*physical.Plan, error)
+
+// HTTPConfig wires the HTTP front-end.
+type HTTPConfig struct {
+	// Planner maps request SQL to candidate plans (required).
+	Planner PlanFunc
+	// DefaultRes seeds each request's allocation; per-request fields
+	// override it. Zero value means sparksim.DefaultResources().
+	DefaultRes sparksim.Resources
+	// MaxCandidates caps how many candidate plans /select prices
+	// (default 3, matching System.SelectPlan).
+	MaxCandidates int
+	// MaxBodyBytes bounds request bodies (default 1 MiB) — oversized
+	// payloads are rejected before JSON decoding.
+	MaxBodyBytes int64
+}
+
+// Handler is the HTTP surface over a Server: estimation endpoints plus
+// the liveness/readiness pair every load balancer expects.
+//
+//	POST /estimate  {"sql": ...}   → price the default (first) plan
+//	POST /select    {"sql": ...}   → price candidates, return the argmin
+//	GET  /healthz                  → 200 while the process lives
+//	GET  /readyz                   → 200 while admitting; 503 once draining
+type Handler struct {
+	srv   *Server
+	cfg   HTTPConfig
+	mux   *http.ServeMux
+	ready atomic.Bool
+}
+
+// NewHandler builds the HTTP front-end over srv.
+func NewHandler(srv *Server, cfg HTTPConfig) (*Handler, error) {
+	if cfg.Planner == nil {
+		return nil, errors.New("serve: HTTPConfig.Planner is required")
+	}
+	if cfg.DefaultRes == (sparksim.Resources{}) {
+		cfg.DefaultRes = sparksim.DefaultResources()
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 3
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	h := &Handler{srv: srv, cfg: cfg, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /estimate", h.handleEstimate)
+	h.mux.HandleFunc("POST /select", h.handleSelect)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	h.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if h.ready.Load() && h.srv.Ready() {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	})
+	h.ready.Store(true)
+	return h, nil
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Shutdown begins a graceful stop: readiness flips to 503 immediately (so
+// balancers stop routing here), new estimation requests are rejected with
+// ErrDraining, and in-flight ones are drained until ctx expires. Call it
+// before http.Server.Shutdown.
+func (h *Handler) Shutdown(ctx context.Context) error {
+	h.ready.Store(false)
+	return h.srv.Drain(ctx)
+}
+
+// estimateRequest is the JSON body of /estimate and /select. Resource
+// fields are optional; zero means the server default.
+type estimateRequest struct {
+	SQL       string  `json:"sql"`
+	Executors int     `json:"executors"`
+	Cores     int     `json:"cores"`
+	MemMB     float64 `json:"mem_mb"`
+}
+
+// estimateResponse is the JSON answer. Degraded marks fallback answers;
+// Reason then carries the deep-path failure.
+type estimateResponse struct {
+	CostSec    float64 `json:"cost_sec"`
+	Source     string  `json:"source"`
+	Degraded   bool    `json:"degraded"`
+	Reason     string  `json:"reason,omitempty"`
+	PlanSig    string  `json:"plan_sig,omitempty"`
+	PlanIndex  int     `json:"plan_index"`
+	Candidates int     `json:"candidates"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (h *Handler) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	plans, res, ok := h.prepare(w, r)
+	if !ok {
+		return
+	}
+	result, err := h.srv.Estimate(r.Context(), plans[0], res)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{
+		CostSec: result.Cost, Source: result.Source,
+		Degraded: result.Degraded, Reason: result.Reason,
+		PlanSig: plans[0].Sig, PlanIndex: 0, Candidates: len(plans),
+	})
+}
+
+func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
+	plans, res, ok := h.prepare(w, r)
+	if !ok {
+		return
+	}
+	candidates := plans
+	if len(candidates) > h.cfg.MaxCandidates {
+		candidates = candidates[:h.cfg.MaxCandidates]
+	}
+	best, result, err := h.srv.Select(r.Context(), candidates, res)
+	if err != nil {
+		h.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{
+		CostSec: result.Cost, Source: result.Source,
+		Degraded: result.Degraded, Reason: result.Reason,
+		PlanSig: candidates[best].Sig, PlanIndex: best, Candidates: len(candidates),
+	})
+}
+
+// prepare decodes, validates, and plans a request; on failure it has
+// already written the error response.
+func (h *Handler) prepare(w http.ResponseWriter, r *http.Request) ([]*physical.Plan, sparksim.Resources, bool) {
+	var req estimateRequest
+	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return nil, sparksim.Resources{}, false
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "sql"`})
+		return nil, sparksim.Resources{}, false
+	}
+	res := h.cfg.DefaultRes
+	if req.Executors != 0 {
+		res.Executors = req.Executors
+	}
+	if req.Cores != 0 {
+		res.ExecCores = req.Cores
+	}
+	if req.MemMB != 0 {
+		res.ExecMemMB = req.MemMB
+	}
+	if err := res.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid resources: " + err.Error()})
+		return nil, sparksim.Resources{}, false
+	}
+	plans, err := h.cfg.Planner(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return nil, sparksim.Resources{}, false
+	}
+	if len(plans) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no plan for query"})
+		return nil, sparksim.Resources{}, false
+	}
+	return plans, res, true
+}
+
+// writeError maps the serve package's typed errors to HTTP statuses. Note
+// ErrInternal only reaches clients on servers with no fallback — with one
+// configured, panics degrade to 200 + degraded:true.
+func (h *Handler) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for logs only.
+		status = http.StatusRequestTimeout
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

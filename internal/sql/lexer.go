@@ -8,7 +8,6 @@ package sql
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // tokenKind classifies lexer output.
@@ -46,18 +45,18 @@ func lex(input string) ([]token, error) {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case unicode.IsLetter(rune(c)) || c == '_':
+		case isIdentStart(c):
 			start := i
-			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+			for i < n && isIdentByte(input[i]) {
 				i++
 			}
 			toks = append(toks, token{tokIdent, strings.ToLower(input[start:i]), start})
-		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+		case isASCIIDigit(c) || (c == '-' && i+1 < n && isASCIIDigit(input[i+1]) && startsValue(toks)):
 			start := i
 			if c == '-' {
 				i++
 			}
-			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+			for i < n && (isASCIIDigit(input[i]) || input[i] == '.') {
 				i++
 			}
 			toks = append(toks, token{tokNumber, input[start:i], start})
@@ -95,6 +94,20 @@ func lex(input string) ([]token, error) {
 	toks = append(toks, token{tokEOF, "", n})
 	return toks, nil
 }
+
+// Identifier bytes are strictly ASCII. Classifying raw bytes with the
+// unicode package is a trap: rune(0xdf) is the letter 'ß', so a stray
+// non-UTF-8 byte used to lex as an identifier whose ToLower rendering was
+// no longer lexable — parse(render(parse(x))) diverged. Bytes ≥ 0x80 now
+// fall through to the lexer's "unexpected character" error (they remain
+// legal inside string literals, which are kept raw).
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentByte(c byte) bool { return isIdentStart(c) || isASCIIDigit(c) }
+
+func isASCIIDigit(c byte) bool { return '0' <= c && c <= '9' }
 
 // startsValue reports whether the next token position can begin a value
 // (so '-' starts a negative number rather than being a binary operator).

@@ -1,0 +1,205 @@
+package raal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"raal/internal/core"
+)
+
+// TestLoadCostModelCorruptFiles truncates a saved cost model at every
+// section boundary — magic, encoder, model header, weights — plus
+// mid-section and foreign-file cases. Every one must come back as a
+// descriptive error, never a panic, never an opaque gob message alone.
+func TestLoadCostModelCorruptFiles(t *testing.T) {
+	_, _, cm := sharedSystem(t)
+	var full bytes.Buffer
+	if err := cm.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+
+	// Reconstruct the section boundaries by re-saving the parts the
+	// same way Save does.
+	headerLen := len(costModelMagic) + 1
+	var encBuf bytes.Buffer
+	if err := cm.enc.Save(&encBuf); err != nil {
+		t.Fatal(err)
+	}
+	modelAt := headerLen + encBuf.Len() // start of the core.Model section
+	if modelAt >= len(raw) {
+		t.Fatalf("section math wrong: model boundary %d beyond file %d", modelAt, len(raw))
+	}
+	netHeaderEnd := modelAt + len(core.ModelMagic) + 1
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring the error must carry
+	}{
+		{"empty file", nil, "truncated"},
+		{"mid-magic", raw[:3], "truncated"},
+		{"magic only", raw[:headerLen], "encoder"},
+		{"mid-encoder", raw[:headerLen+encBuf.Len()/2], "encoder"},
+		{"encoder boundary (network missing)", raw[:modelAt], "truncated"},
+		{"network magic only", raw[:netHeaderEnd], "model header"},
+		{"mid-network", raw[:modelAt+(len(raw)-modelAt)/2], ""},
+		{"truncated tail", raw[:len(raw)-7], "weights"},
+		{"foreign file", []byte("GIF89a this is definitely not a model"), "bad magic"},
+		{"v0 file (no header)", raw[headerLen:], "bad magic"},
+		{"future version", flipByte(raw, len(costModelMagic)), "version mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("LoadCostModel panicked: %v", r)
+				}
+			}()
+			_, err := LoadCostModel(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt file loaded without error")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q should mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// The untouched bytes must still load — the boundary math above is
+	// only trustworthy if the full file round-trips.
+	if _, err := LoadCostModel(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("full file failed to load: %v", err)
+	}
+}
+
+func flipByte(raw []byte, at int) []byte {
+	out := append([]byte(nil), raw...)
+	out[at] ^= 0x5f
+	return out
+}
+
+func TestEstimateCtx(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResources()
+
+	got, err := cm.EstimateCtx(context.Background(), plans[0], res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cm.Estimate(plans[0], res); got != want {
+		t.Fatalf("EstimateCtx %v != Estimate %v", got, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cm.EstimateCtx(ctx, plans[0], res); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, _, err := cm.SelectPlanCtx(ctx, plans, res); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectPlanCtx: want context.Canceled, got %v", err)
+	}
+	if _, _, err := cm.RecommendResourcesCtx(ctx, plans[0], DefaultResourceGrid()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RecommendResourcesCtx: want context.Canceled, got %v", err)
+	}
+}
+
+func TestSelectPlanCtxMatchesSelectPlan(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResources()
+	wantPlan, wantPred := cm.SelectPlan(plans, res)
+	gotPlan, gotPred, err := cm.SelectPlanCtx(context.Background(), plans, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPlan != wantPlan || gotPred != wantPred {
+		t.Fatalf("SelectPlanCtx (%p, %v) != SelectPlan (%p, %v)", gotPlan, gotPred, wantPlan, wantPred)
+	}
+	// Empty candidate set stays well-defined, as in SelectPlan.
+	if p, _, err := cm.SelectPlanCtx(context.Background(), nil, res); err != nil || p != nil {
+		t.Fatalf("empty set: plan %v err %v", p, err)
+	}
+}
+
+// TestRecommendResourcesWith pins the satellite fix: the grid sweep runs
+// through the same worker-pool path as EstimateBatchWith, so every
+// parallelism setting returns the identical recommendation, and the ctx
+// variant agrees with both.
+func TestRecommendResourcesWith(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute(plans[0]); err != nil {
+		t.Fatal(err)
+	}
+	grid := DefaultResourceGrid()
+	wantRes, wantPred := cm.RecommendResources(plans[0], grid)
+	for _, opt := range []PredictOpts{
+		{Workers: 1, ChunkSize: 1},
+		{Workers: 4, ChunkSize: 7},
+		{Workers: 2, ChunkSize: 64},
+	} {
+		gotRes, gotPred := cm.RecommendResourcesWith(plans[0], grid, opt)
+		if gotRes != wantRes || gotPred != wantPred {
+			t.Fatalf("opts %+v: recommendation diverged: (%v, %v) vs (%v, %v)",
+				opt, gotRes, gotPred, wantRes, wantPred)
+		}
+	}
+	ctxRes, ctxPred, err := cm.RecommendResourcesCtx(context.Background(), plans[0], grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctxRes != wantRes || ctxPred != wantPred {
+		t.Fatalf("ctx recommendation diverged: (%v, %v) vs (%v, %v)", ctxRes, ctxPred, wantRes, wantPred)
+	}
+	if _, _, err := cm.RecommendResourcesCtx(context.Background(), plans[0], nil); err != nil {
+		t.Fatalf("empty grid should be well-defined: %v", err)
+	}
+}
+
+// TestEstimateBatchCtxDeadline: a live deadline that cannot possibly be
+// met on a big batch must surface context.DeadlineExceeded promptly.
+func TestEstimateBatchCtxDeadline(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An expired deadline is the deterministic way to exercise the path.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	start := time.Now()
+	_, err = cm.EstimateBatchCtx(ctx, plans, DefaultResources(), PredictOpts{ChunkSize: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("expired-deadline batch took %v", d)
+	}
+	// Sanity: the live-context batch agrees with EstimateBatch.
+	got, err := cm.EstimateBatchCtx(context.Background(), plans, DefaultResources(), PredictOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cm.EstimateBatch(plans, DefaultResources())
+	for i := range want {
+		if math.Abs(got[i]-want[i]) != 0 {
+			t.Fatalf("batch ctx prediction %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
