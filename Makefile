@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel vet fuzz check
+.PHONY: build test race bench bench-parallel vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -13,14 +13,15 @@ test: build
 	$(GO) test ./...
 
 # Race-detector run over the packages with concurrency on the hot path
-# (data-parallel training/inference, the serving layer, and the numeric
-# stack), plus the public API. internal/core includes
-# TestParallelTrainRaceSmoke, which trains with Workers=4 so
+# (data-parallel training/inference, the serving layer, the telemetry
+# registry, and the numeric stack), plus the public API. internal/core
+# includes TestParallelTrainRaceSmoke, which trains with Workers=4 so
 # shard-parallel backward passes are exercised under the detector;
-# internal/serve includes TestConcurrentRequestsRaceClean. Use
+# internal/serve includes TestConcurrentRequestsRaceClean;
+# internal/telemetry includes concurrent writer/scraper tests. Use
 # `make race-all` for the (slow) full sweep.
 race:
-	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve .
+	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry .
 
 # The experiments package replays full training runs; under the race
 # detector that exceeds go test's default 10m per-package timeout on
@@ -39,6 +40,24 @@ bench-parallel:
 
 vet:
 	$(GO) vet ./...
+
+# Per-package coverage gate: every package that has tests must cover at
+# least COVER_FLOOR% of its statements (packages with no test files —
+# cmd/, examples/, test helpers — are exempt). The floor sits just below
+# the current minimum (internal/cardest, ~68%), so real regressions fail
+# while normal churn passes.
+COVER_FLOOR ?= 65
+cover:
+	@$(GO) test -cover ./... > cover.tmp; s=$$?; cat cover.tmp; \
+	if [ $$s -ne 0 ]; then rm -f cover.tmp; exit $$s; fi; \
+	awk -v floor=$(COVER_FLOOR) '$$1 == "ok" { \
+	    for (i = 1; i < NF; i++) if ($$i == "coverage:") { \
+	        pct = $$(i+1); sub(/%/, "", pct); \
+	        if (pct + 0 < floor) bad = bad sprintf("\n  %s %s%%", $$2, pct); \
+	    } } \
+	    END { if (bad != "") { printf "\npackages below %s%% coverage:%s\n", floor, bad; exit 1 } \
+	          printf "\nall tested packages meet the %s%% coverage floor\n", floor }' cover.tmp; \
+	s=$$?; rm -f cover.tmp; exit $$s
 
 # Short fixed-budget fuzz of the SQL parser (the seed corpus plus any
 # committed regression inputs also replay under plain `go test`).

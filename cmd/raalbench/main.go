@@ -15,7 +15,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"raal/internal/experiments"
@@ -33,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "global seed")
 		quick   = flag.Bool("quick", false, "small settings for a fast smoke run")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV data (figures only)")
+		outDir  = flag.String("outdir", "results", "directory for the bench report file, mirrored to stdout (empty = stdout only)")
 		workers = flag.Int("workers", 0, "training worker goroutines (0 = serial; results are identical for any value)")
 		shard   = flag.Int("shard", 0, "gradient-accumulation shard size (0 = whole batch)")
 	)
@@ -43,6 +46,31 @@ func main() {
 			fmt.Printf("  %-8s %s\n", r.Name, r.Description)
 		}
 		return
+	}
+
+	// The report goes to stdout and, by default, to
+	// results/bench_results_<exp>.txt (or bench_results_<bench>.txt for a
+	// full run), so experiment output lands in the tracked results tree
+	// instead of littering the repo root.
+	var out io.Writer = os.Stdout
+	if *outDir != "" {
+		name := *exp
+		if name == "all" {
+			name = *bench
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, "bench_results_"+name+".txt")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+		fmt.Printf("writing report to %s\n", path)
 	}
 
 	opt := experiments.DefaultOptions()
@@ -84,7 +112,7 @@ func main() {
 		}
 	}
 	if needsLab {
-		fmt.Printf("preparing lab: bench=%s scale=%.2f queries=%d states=%d ...\n",
+		fmt.Fprintf(out, "preparing lab: bench=%s scale=%.2f queries=%d states=%d ...\n",
 			opt.Bench, opt.Scale, opt.NumQueries, opt.ResStates)
 		start := time.Now()
 		var err error
@@ -93,7 +121,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("lab ready in %v: %d train / %d test samples\n\n",
+		fmt.Fprintf(out, "lab ready in %v: %d train / %d test samples\n\n",
 			time.Since(start).Round(time.Millisecond), len(lab.TrainSamples), len(lab.TestSamples))
 	}
 
@@ -110,9 +138,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%s) — %v ===\n", r.Name, r.Description, time.Since(start).Round(time.Millisecond))
-		rep.Print(os.Stdout)
-		fmt.Println()
+		fmt.Fprintf(out, "=== %s (%s) — %v ===\n", r.Name, r.Description, time.Since(start).Round(time.Millisecond))
+		rep.Print(out)
+		fmt.Fprintln(out)
 
 		if *csvDir != "" {
 			if c, ok := rep.(experiments.CSVer); ok {

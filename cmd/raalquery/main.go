@@ -28,6 +28,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "global seed")
 		modelPath = flag.String("model", "", "trained cost model (from raaltrain -out) for plan selection")
 		explain   = flag.Bool("explain", false, "print the per-stage cost breakdown of each plan")
+		trace     = flag.Bool("trace", false, "with -model, print the model's per-stage inference timing for the picked plan")
 		dotPath   = flag.String("dot", "", "write the cheapest plan as Graphviz DOT to this file")
 	)
 	flag.Parse()
@@ -97,6 +98,13 @@ func main() {
 		for i, p := range plans {
 			if p == best {
 				fmt.Printf("%s model picks:  plan %d (predicted %.2fs)\n", cm.Variant().Name, i+1, pred)
+			}
+		}
+		if *trace {
+			_, sp := cm.EstimateTraced(best, res)
+			fmt.Printf("inference breakdown (%v total):\n", sp.Total())
+			for _, st := range sp.Stages() {
+				fmt.Printf("  %-10s %v\n", st.Name, st.Dur)
 			}
 		}
 	}

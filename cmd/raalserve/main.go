@@ -8,6 +8,7 @@
 //	raalserve -model model.raal                       # deep model + GPSJ fallback
 //	raalserve                                         # analytical-only serving
 //	raalserve -deadline 200ms -on-deadline fail       # 504 instead of fallback
+//	raalserve -admin :8081 -pprof                     # admin listener + profiling
 //
 // Endpoints:
 //
@@ -15,6 +16,11 @@
 //	POST /select    same body; prices candidate plans, returns the argmin
 //	GET  /healthz   liveness
 //	GET  /readyz    readiness (503 once draining)
+//	GET  /metrics   Prometheus text exposition (serving + model telemetry)
+//
+// The optional -admin listener serves /metrics (and, with -pprof, the
+// net/http/pprof handlers under /debug/pprof/) on a separate address so
+// operational surfaces can stay off the public port.
 //
 // SIGINT/SIGTERM starts a graceful shutdown: readiness flips, in-flight
 // requests drain, then the listener closes.
@@ -25,8 +31,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -37,11 +44,15 @@ import (
 	"raal/internal/physical"
 	"raal/internal/serve"
 	"raal/internal/sparksim"
+	"raal/internal/telemetry"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		adminAddr  = flag.String("admin", "", "admin listen address for /metrics and pprof (empty = no admin listener; /metrics stays on the main port)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the admin listener (requires -admin)")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 		bench      = flag.String("bench", "imdb", "benchmark: imdb or tpch")
 		scale      = flag.Float64("scale", 0.1, "synthetic data scale factor")
 		seed       = flag.Int64("seed", 1, "global seed")
@@ -55,20 +66,36 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raalserve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	if *pprofOn && *adminAddr == "" {
+		fatal("-pprof requires -admin (profiling is only served on the admin listener)")
+	}
+
 	policy := serve.FallbackOnDeadline
 	switch *onDeadline {
 	case "fallback":
 	case "fail":
 		policy = serve.FailOnDeadline
 	default:
-		log.Fatalf("raalserve: -on-deadline must be fallback or fail, got %q", *onDeadline)
+		fatal("-on-deadline must be fallback or fail", "got", *onDeadline)
 	}
 
 	sys, err := raal.Open(raal.Benchmark(*bench), *scale, *seed)
 	if err != nil {
-		log.Fatalf("raalserve: opening benchmark: %v", err)
+		fatal("opening benchmark", "error", err)
 	}
 	gpsj := raal.NewGPSJBaseline()
+
+	reg := telemetry.NewRegistry()
+	met := serve.NewMetrics(reg)
 
 	cfg := serve.Config{
 		Fallback: func(_ context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
@@ -78,31 +105,34 @@ func main() {
 		QueueDepth:  *queue,
 		Deadline:    *deadline,
 		OnDeadline:  policy,
+		Metrics:     met,
 	}
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {
-			log.Fatalf("raalserve: %v", err)
+			fatal("opening model file", "error", err)
 		}
 		cm, err := raal.LoadCostModel(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("raalserve: loading model: %v", err)
+			fatal("loading model", "error", err)
 		}
+		cm.Instrument(reg)
 		cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
 			return cm.EstimateCtx(ctx, p, res)
 		}
 		cfg.DeepBatch = func(ctx context.Context, plans []*physical.Plan, res sparksim.Resources) ([]float64, error) {
 			return cm.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
 		}
-		log.Printf("raalserve: serving %s model from %s (GPSJ fallback armed)", cm.Variant().Name, *modelPath)
+		logger.Info("serving deep model with GPSJ fallback armed",
+			"variant", cm.Variant().Name, "model", *modelPath)
 	} else {
-		log.Printf("raalserve: no -model given; serving GPSJ analytical estimates only")
+		logger.Info("no -model given; serving GPSJ analytical estimates only")
 	}
 
 	srv, err := serve.New(cfg)
 	if err != nil {
-		log.Fatalf("raalserve: %v", err)
+		fatal("building server", "error", err)
 	}
 
 	// The planning substrate (parser → binder → planner → cardinality
@@ -116,9 +146,11 @@ func main() {
 			return sys.Plan(sql)
 		},
 		MaxCandidates: *candidates,
+		Metrics:       met,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatalf("raalserve: %v", err)
+		fatal("building handler", "error", err)
 	}
 
 	httpSrv := &http.Server{
@@ -127,25 +159,80 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() {
-		log.Printf("raalserve: listening on %s (%s scale %g, concurrency %d, queue %d, deadline %v, on-deadline %s)",
-			*addr, *bench, *scale, *conc, *queue, *deadline, *onDeadline)
+		logger.Info("listening", "addr", *addr, "bench", *bench, "scale", *scale,
+			"concurrency", *conc, "queue", *queue,
+			"deadline", *deadline, "on_deadline", *onDeadline)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("raalserve: %v", err)
+			fatal("listener failed", "error", err)
 		}
 	}()
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           adminHandler(reg, *pprofOn),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("admin listening", "addr", *adminAddr, "pprof", *pprofOn)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fatal("admin listener failed", "error", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	sig := <-stop
-	log.Printf("raalserve: %v — draining (budget %v)", sig, *drainGrace)
+	logger.Info("draining", "signal", sig.String(), "budget", *drainGrace)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()
 	if err := handler.Shutdown(ctx); err != nil {
-		log.Printf("raalserve: drain: %v", err)
+		logger.Warn("drain", "error", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("raalserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
-	fmt.Println("raalserve: stopped")
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(ctx); err != nil {
+			logger.Warn("admin shutdown", "error", err)
+		}
+	}
+	logger.Info("stopped")
+}
+
+// newLogger builds the process logger at the requested verbosity.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn, or error, got %q", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// adminHandler serves the operational surfaces: /metrics always, the
+// pprof handlers only when explicitly enabled (profiles expose internals
+// and cost CPU, so they are opt-in rather than ambient).
+func adminHandler(reg *telemetry.Registry, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
+	return mux
 }

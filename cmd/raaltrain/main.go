@@ -64,11 +64,21 @@ func main() {
 		len(ds.Records), len(ds.Plans), ds.Skipped, time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
+	// Progress lines read from the metrics registry rather than the raw
+	// callback arguments — the same counters and gauges a /metrics scrape
+	// would see, so the printed numbers are the telemetry, not a parallel
+	// bookkeeping path.
+	reg := raal.NewMetricsRegistry()
+	epochs64 := reg.NewCounter("raal_train_epochs_total", "Completed training epochs.")
+	loss64 := reg.NewGauge("raal_train_epoch_loss", "Latest epoch's sample-weighted mean training loss (log-cost MSE).")
+	shards64 := reg.NewGauge("raal_train_shards_per_sec", "Latest epoch's gradient-shard throughput.")
 	cm, report, err := raal.TrainCostModel(ds, v, raal.TrainOptions{
 		Epochs: *epochs, LR: *lr, Seed: *seed,
 		Workers: *workers, ShardSize: *shard,
-		Progress: func(epoch int, loss float64) {
-			fmt.Printf("  epoch %2d: loss %.4f\n", epoch+1, loss)
+		Metrics: reg,
+		Progress: func(int, float64) {
+			fmt.Printf("  epoch %2d: loss %.4f (%.0f shards/s)\n",
+				epochs64.Value(), loss64.Value(), shards64.Value())
 		},
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"raal/internal/core"
 	"raal/internal/encode"
+	"raal/internal/telemetry"
 	"raal/internal/workload"
 )
 
@@ -24,6 +25,35 @@ const (
 type CostModel struct {
 	enc   *encode.Encoder
 	model *core.Model
+	api   apiCounters
+}
+
+// apiCounters tracks public estimation-API usage. The zero value (nil
+// counters) is inert, so an uninstrumented model pays only nil checks.
+type apiCounters struct {
+	estimates  *telemetry.Counter // Estimate / EstimateCtx / EstimateBatch* calls
+	selects    *telemetry.Counter // SelectPlan / SelectPlanCtx calls
+	recommends *telemetry.Counter // RecommendResources* calls
+}
+
+// Instrument registers this model's telemetry on reg: API call counters
+// (raal_api_*) plus the core inference and training metric families
+// (predict latency/throughput, epoch progress). Call once at wiring time,
+// before the model starts serving; the counters are then updated lock-free
+// on every API call. Registration is get-or-create, so instrumenting
+// several models on one registry aggregates them into the same families.
+//
+// Note SelectPlan and RecommendResources route through the batch
+// estimation path internally; raal_api_estimates_total counts only direct
+// Estimate/EstimateBatch calls, not those internal reuses.
+func (cm *CostModel) Instrument(reg *telemetry.Registry) {
+	cm.api.estimates = reg.NewCounter("raal_api_estimates_total",
+		"Direct cost-estimation API calls (Estimate and EstimateBatch variants).")
+	cm.api.selects = reg.NewCounter("raal_api_plan_selections_total",
+		"Plan-selection API calls (SelectPlan variants).")
+	cm.api.recommends = reg.NewCounter("raal_api_resource_recommendations_total",
+		"Resource-recommendation API calls (RecommendResources variants).")
+	cm.model.Instrument(core.NewInstrumentation(reg))
 }
 
 // TrainOptions controls cost-model training.
@@ -45,6 +75,11 @@ type TrainOptions struct {
 	ShardSize int
 	// Progress, if set, receives per-epoch training loss.
 	Progress func(epoch int, loss float64)
+	// Metrics, if set, receives training telemetry (epoch counter, latest
+	// loss, shard throughput) during the run, and the returned CostModel
+	// comes back already instrumented on the same registry (equivalent to
+	// calling Instrument on it).
+	Metrics *telemetry.Registry
 }
 
 // TrainReport summarizes a training run.
@@ -96,6 +131,9 @@ func TrainCostModel(ds *Dataset, v Variant, opt TrainOptions) (*CostModel, *Trai
 	tc.Workers = opt.Workers
 	tc.ShardSize = opt.ShardSize
 	tc.Progress = opt.Progress
+	if opt.Metrics != nil {
+		tc.Instr = core.NewInstrumentation(opt.Metrics)
+	}
 
 	model, tr, err := core.Train(train, v, mc, tc)
 	if err != nil {
@@ -111,7 +149,11 @@ func TrainCostModel(ds *Dataset, v Variant, opt TrainOptions) (*CostModel, *Trai
 			return nil, nil, err
 		}
 	}
-	return &CostModel{enc: enc, model: model}, report, nil
+	cm := &CostModel{enc: enc, model: model}
+	if opt.Metrics != nil {
+		cm.Instrument(opt.Metrics)
+	}
+	return cm, report, nil
 }
 
 // Variant returns the architecture this model was trained with.
@@ -119,13 +161,31 @@ func (cm *CostModel) Variant() Variant { return cm.model.Var }
 
 // Estimate predicts the execution cost (seconds) of plan p under res.
 func (cm *CostModel) Estimate(p *Plan, res Resources) float64 {
+	cm.api.estimates.Inc()
 	s := cm.enc.EncodePlan(p, res)
 	return cm.model.Predict([]*Sample{s})[0]
+}
+
+// EstimateTraced is Estimate with a per-stage wall-time breakdown: the
+// returned span is already ended and decomposes the call into encode →
+// embed → lstm/conv → attention → dense → decode stages (stage durations
+// sum to at most the span total). Tracing is observation-only — the
+// prediction is bit-identical to Estimate.
+func (cm *CostModel) EstimateTraced(p *Plan, res Resources) (float64, *telemetry.Span) {
+	cm.api.estimates.Inc()
+	sp := telemetry.StartSpan("estimate")
+	stop := sp.Stage("encode")
+	s := cm.enc.EncodePlan(p, res)
+	stop()
+	preds := cm.model.PredictSpan([]*Sample{s}, sp)
+	sp.End()
+	return preds[0], sp
 }
 
 // EstimateCtx is Estimate with cooperative cancellation: a cancelled or
 // expired context aborts the forward pass boundary and returns ctx.Err().
 func (cm *CostModel) EstimateCtx(ctx context.Context, p *Plan, res Resources) (float64, error) {
+	cm.api.estimates.Inc()
 	s := cm.enc.EncodePlan(p, res)
 	preds, err := cm.model.PredictCtx(ctx, []*Sample{s}, core.PredictOpts{})
 	if err != nil {
@@ -143,11 +203,8 @@ func (cm *CostModel) EstimateBatch(plans []*Plan, res Resources) []float64 {
 // EstimateBatchWith is EstimateBatch with explicit data-parallelism
 // settings; predictions are identical for every opt.
 func (cm *CostModel) EstimateBatchWith(plans []*Plan, res Resources, opt core.PredictOpts) []float64 {
-	samples := make([]*Sample, len(plans))
-	for i, p := range plans {
-		samples[i] = cm.enc.EncodePlan(p, res)
-	}
-	return cm.model.PredictWith(samples, opt)
+	cm.api.estimates.Inc()
+	return cm.model.PredictWith(cm.planSamples(plans, res), opt)
 }
 
 // EstimateBatchCtx is EstimateBatchWith with cooperative cancellation: a
@@ -155,11 +212,16 @@ func (cm *CostModel) EstimateBatchWith(plans []*Plan, res Resources, opt core.Pr
 // returns ctx.Err(). With a live context the predictions are
 // bit-identical to EstimateBatchWith.
 func (cm *CostModel) EstimateBatchCtx(ctx context.Context, plans []*Plan, res Resources, opt core.PredictOpts) ([]float64, error) {
+	cm.api.estimates.Inc()
+	return cm.model.PredictCtx(ctx, cm.planSamples(plans, res), opt)
+}
+
+func (cm *CostModel) planSamples(plans []*Plan, res Resources) []*Sample {
 	samples := make([]*Sample, len(plans))
 	for i, p := range plans {
 		samples[i] = cm.enc.EncodePlan(p, res)
 	}
-	return cm.model.PredictCtx(ctx, samples, opt)
+	return samples
 }
 
 // SelectPlan returns the candidate with the lowest predicted cost and
@@ -168,7 +230,8 @@ func (cm *CostModel) SelectPlan(plans []*Plan, res Resources) (*Plan, float64) {
 	if len(plans) == 0 {
 		return nil, 0
 	}
-	preds := cm.EstimateBatch(plans, res)
+	cm.api.selects.Inc()
+	preds := cm.model.Predict(cm.planSamples(plans, res))
 	best := argmin(preds)
 	return plans[best], preds[best]
 }
@@ -179,7 +242,8 @@ func (cm *CostModel) SelectPlanCtx(ctx context.Context, plans []*Plan, res Resou
 	if len(plans) == 0 {
 		return nil, 0, nil
 	}
-	preds, err := cm.EstimateBatchCtx(ctx, plans, res, core.PredictOpts{})
+	cm.api.selects.Inc()
+	preds, err := cm.model.PredictCtx(ctx, cm.planSamples(plans, res), core.PredictOpts{})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -204,6 +268,7 @@ func (cm *CostModel) RecommendResourcesWith(p *Plan, grid []Resources, opt core.
 	if len(grid) == 0 {
 		return Resources{}, 0
 	}
+	cm.api.recommends.Inc()
 	preds := cm.model.PredictWith(cm.gridSamples(p, grid), opt)
 	best := argmin(preds)
 	return grid[best], preds[best]
@@ -216,6 +281,7 @@ func (cm *CostModel) RecommendResourcesCtx(ctx context.Context, p *Plan, grid []
 	if len(grid) == 0 {
 		return Resources{}, 0, nil
 	}
+	cm.api.recommends.Inc()
 	preds, err := cm.model.PredictCtx(ctx, cm.gridSamples(p, grid), core.PredictOpts{})
 	if err != nil {
 		return Resources{}, 0, err

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"time"
+
+	"raal/internal/telemetry"
+)
+
+// Instrumentation is the model layer's metric set: inference latency and
+// throughput, plus training progress gauges. A nil *Instrumentation is
+// valid and inert — every observation on it is a no-op — so models serve
+// unobserved by default and gain telemetry only when Instrument is
+// called (or TrainConfig.Instr is set).
+type Instrumentation struct {
+	// PredictLatency observes one value per Predict/PredictCtx call (the
+	// whole batch, in seconds); PredictRows counts the samples scored;
+	// RowsPerSec is the most recent call's throughput.
+	PredictLatency *telemetry.Histogram
+	PredictRows    *telemetry.Counter
+	RowsPerSec     *telemetry.Gauge
+
+	// TrainEpochs counts completed epochs; TrainLoss is the latest
+	// epoch's sample-weighted mean training loss (log-cost MSE);
+	// ShardsPerSec is the latest epoch's gradient-shard throughput.
+	TrainEpochs  *telemetry.Counter
+	TrainLoss    *telemetry.Gauge
+	ShardsPerSec *telemetry.Gauge
+}
+
+// NewInstrumentation registers the model metric set on reg.
+func NewInstrumentation(reg *telemetry.Registry) *Instrumentation {
+	return &Instrumentation{
+		PredictLatency: reg.NewHistogram("raal_predict_latency_seconds",
+			"Latency of one Predict call (whole batch).", nil),
+		PredictRows: reg.NewCounter("raal_predict_rows_total",
+			"Samples scored by Predict."),
+		RowsPerSec: reg.NewGauge("raal_predict_rows_per_sec",
+			"Throughput of the most recent Predict call."),
+		TrainEpochs: reg.NewCounter("raal_train_epochs_total",
+			"Completed training epochs."),
+		TrainLoss: reg.NewGauge("raal_train_epoch_loss",
+			"Latest epoch's sample-weighted mean training loss (log-cost MSE)."),
+		ShardsPerSec: reg.NewGauge("raal_train_shards_per_sec",
+			"Latest epoch's gradient-shard throughput."),
+	}
+}
+
+// observePredict records one finished prediction batch. Nil-safe.
+func (ins *Instrumentation) observePredict(rows int, elapsed time.Duration) {
+	if ins == nil {
+		return
+	}
+	sec := elapsed.Seconds()
+	ins.PredictLatency.Observe(sec)
+	ins.PredictRows.Add(uint64(rows))
+	if sec > 0 {
+		ins.RowsPerSec.Set(float64(rows) / sec)
+	}
+}
+
+// observeEpoch records one finished training epoch. Nil-safe.
+func (ins *Instrumentation) observeEpoch(loss float64, shards int, elapsed time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.TrainEpochs.Inc()
+	ins.TrainLoss.Set(loss)
+	if sec := elapsed.Seconds(); sec > 0 {
+		ins.ShardsPerSec.Set(float64(shards) / sec)
+	}
+}
+
+// Instrument attaches the metric set to the model: subsequent
+// Predict/PredictCtx calls observe latency and throughput into it. Safe
+// to call once at wiring time; the field is read concurrently afterwards.
+func (m *Model) Instrument(ins *Instrumentation) { m.instr = ins }

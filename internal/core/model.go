@@ -11,11 +11,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"raal/internal/autodiff"
 	"raal/internal/encode"
 	"raal/internal/nn"
 	"raal/internal/sparksim"
+	"raal/internal/telemetry"
 	"raal/internal/tensor"
 )
 
@@ -52,6 +54,10 @@ const nodeStatFeatures = 2
 type Model struct {
 	Var Variant
 	Cfg Config
+
+	// instr receives inference telemetry when set (see Instrument); nil
+	// predicts unobserved. Never serialized.
+	instr *Instrumentation
 
 	lstm *nn.LSTM
 	conv *nn.Conv1D
@@ -139,7 +145,11 @@ func (m *Model) nodeInput(s *encode.Sample, i int, dst []float64) {
 // prediction (log-cost scale). The recurrence is unrolled only up to the
 // batch's longest real plan — padding rows are fully masked downstream, so
 // truncating them is numerically identical and substantially faster.
-func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var {
+//
+// sp, when non-nil, receives the per-stage wall-time breakdown (embed →
+// lstm/conv → attention → dense); a nil span costs one branch per stage
+// boundary.
+func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample, sp *telemetry.Span) *autodiff.Var {
 	bsz := len(batch)
 	L := 1
 	for _, s := range batch {
@@ -157,6 +167,7 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var
 	// Plan feature layer.
 	perSampleH := make([]*autodiff.Var, bsz) // each L×Hidden
 	if m.lstm != nil {
+		stop := sp.Stage("embed")
 		xs := make([]*autodiff.Var, L)
 		for t := 0; t < L; t++ {
 			xt := tensor.New(bsz, in)
@@ -165,6 +176,8 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var
 			}
 			xs[t] = tp.Const(xt)
 		}
+		stop()
+		stop = sp.Stage("lstm")
 		hs := m.lstm.Forward(tp, xs)
 		for b := 0; b < bsz; b++ {
 			rows := make([]*autodiff.Var, L)
@@ -173,16 +186,23 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var
 			}
 			perSampleH[b] = tp.ConcatRows(rows...)
 		}
+		stop()
 	} else {
 		for b, s := range batch {
+			stop := sp.Stage("embed")
 			x := tensor.New(L, in)
 			for t := 0; t < L; t++ {
 				m.nodeInput(s, t, x.Row(t))
 			}
-			perSampleH[b] = m.conv.Forward(tp, tp.Const(x))
+			xc := tp.Const(x)
+			stop()
+			stop = sp.Stage("conv")
+			perSampleH[b] = m.conv.Forward(tp, xc)
+			stop()
 		}
 	}
 
+	stopAttn := sp.Stage("attention")
 	scale := 1 / math.Sqrt(float64(m.Cfg.K))
 	feats := make([]*autodiff.Var, bsz)
 	for b, s := range batch {
@@ -209,8 +229,8 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var
 		parts := []*autodiff.Var{pooled}
 		if m.Var.ResourceAttention {
 			r := tp.Const(tensor.RowVector(s.Resource))
-			q := tp.MatMul(r, m.wr.Var)             // 1×K
-			keys := tp.MatMul(h, m.wrk.Var)         // L×K
+			q := tp.MatMul(r, m.wr.Var)                                 // 1×K
+			keys := tp.MatMul(h, m.wrk.Var)                             // L×K
 			scores := tp.Scale(tp.MatMul(q, tp.Transpose(keys)), scale) // 1×L
 			battn := tp.SoftmaxRows(scores, mask)
 			parts = append(parts, tp.MatMul(battn, h)) // 1×Hidden
@@ -218,6 +238,8 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample) *autodiff.Var
 		parts = append(parts, tp.Const(tensor.RowVector(s.Stats)))
 		feats[b] = tp.ConcatCols(parts...)
 	}
+	stopAttn()
+	defer sp.Stage("dense")()
 	return m.head.Forward(tp, tp.ConcatRows(feats...))
 }
 
@@ -280,9 +302,40 @@ func (m *Model) PredictWith(samples []*encode.Sample, opt PredictOpts) []float64
 // context adds only a nil check per chunk — predictions are bit-identical
 // to PredictWith for every PredictOpts setting.
 func (m *Model) PredictCtx(ctx context.Context, samples []*encode.Sample, opt PredictOpts) ([]float64, error) {
+	return m.predictCtx(ctx, samples, opt, nil)
+}
+
+// PredictSpan scores samples serially (one worker, so stage wall times
+// never overlap) while accumulating the per-stage forward-pass breakdown
+// into sp: encode-side callers add their own stages, then embed →
+// lstm/conv → attention → dense → decode land here. Predictions are
+// bit-identical to Predict. The caller owns sp's lifecycle (End).
+func (m *Model) PredictSpan(samples []*encode.Sample, sp *telemetry.Span) []float64 {
+	out, _ := m.predictCtx(context.Background(), samples, PredictOpts{Workers: 1}, sp)
+	return out
+}
+
+// PredictTraced is PredictSpan with the span created, ended, and
+// returned for inspection — the one-call way to decompose a predict into
+// stage timings:
+//
+//	preds, span := m.PredictTraced(samples)
+//	for _, st := range span.Stages() { ... }
+func (m *Model) PredictTraced(samples []*encode.Sample) ([]float64, *telemetry.Span) {
+	sp := telemetry.StartSpan("predict")
+	out := m.PredictSpan(samples, sp)
+	sp.End()
+	return out, sp
+}
+
+// predictCtx is the shared scorer behind Predict/PredictCtx/PredictSpan.
+// A non-nil span forces the serial path (callers pass Workers: 1), so
+// stage durations sum to at most the call's wall time.
+func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt PredictOpts, sp *telemetry.Span) ([]float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	out := make([]float64, len(samples))
 	chunk := opt.ChunkSize
 	if chunk <= 0 {
@@ -301,7 +354,8 @@ func (m *Model) PredictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 		lo := k * chunk
 		hi := min(lo+chunk, len(samples))
 		tp := autodiff.NewTape()
-		pred := m.forward(tp, samples[lo:hi])
+		pred := m.forward(tp, samples[lo:hi], sp)
+		defer sp.Stage("decode")()
 		for i := lo; i < hi; i++ {
 			out[i] = invTransform(pred.Value.At(i-lo, 0))
 		}
@@ -314,6 +368,7 @@ func (m *Model) PredictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 			}
 			score(k)
 		}
+		m.instr.observePredict(len(samples), time.Since(start))
 		return out, nil
 	}
 	var next atomic.Int64
@@ -340,6 +395,7 @@ func (m *Model) PredictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 	if aborted.Load() {
 		return nil, ctx.Err()
 	}
+	m.instr.observePredict(len(samples), time.Since(start))
 	return out, nil
 }
 

@@ -140,7 +140,7 @@ func TestFitWeightedLossCurve(t *testing.T) {
 		target.Set(i, 0, transform(s.CostSec))
 	}
 	tp := autodiff.NewTape()
-	want := tp.MSE(ref.forward(tp, samples), target).Value.Data[0]
+	want := tp.MSE(ref.forward(tp, samples, nil), target).Value.Data[0]
 
 	m := NewModel(RAAL(), cfg) // same seed: identical initial weights
 	tc := DefaultTrainConfig()

@@ -41,6 +41,10 @@ type TrainConfig struct {
 	// (the same value appended to TrainResult.LossCurve). A nil Progress
 	// simply trains silently; there is no separate quiet switch.
 	Progress func(epoch int, loss float64)
+	// Instr, if non-nil, receives per-epoch training telemetry: the epoch
+	// counter, latest epoch loss, and gradient-shard throughput. Nil
+	// trains unobserved.
+	Instr *Instrumentation
 }
 
 // DefaultTrainConfig returns the settings used by the experiment harness.
@@ -129,6 +133,8 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 	start := time.Now()
 	result := &TrainResult{Samples: len(samples)}
 	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		epochStart := time.Now()
+		epochShards := 0
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var epochLoss float64
 		for lo := 0; lo < len(idx); lo += tc.Batch {
@@ -137,8 +143,10 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 			var batchLoss float64
 			if maxShards == 1 {
 				batchLoss = trainStep(m, samples, idx[lo:hi])
+				epochShards++
 			} else {
 				batchLoss = m.shardedStep(shards, samples, idx[lo:hi], shardSize, workers)
+				epochShards += (n + shardSize - 1) / shardSize
 			}
 			if tc.ClipNorm > 0 {
 				nn.ClipGradNorm(params, tc.ClipNorm)
@@ -150,6 +158,7 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 		}
 		epochLoss /= float64(len(idx))
 		result.LossCurve = append(result.LossCurve, epochLoss)
+		tc.Instr.observeEpoch(epochLoss, epochShards, time.Since(epochStart))
 		if tc.Progress != nil {
 			tc.Progress(epoch, epochLoss)
 		}
@@ -169,7 +178,7 @@ func trainStep(model *Model, samples []*encode.Sample, sel []int) float64 {
 		target.Set(i, 0, transform(samples[j].CostSec))
 	}
 	tp := autodiff.NewTape()
-	loss := tp.MSE(model.forward(tp, batch), target)
+	loss := tp.MSE(model.forward(tp, batch, nil), target)
 	tp.Backward(loss)
 	return loss.Value.Data[0]
 }

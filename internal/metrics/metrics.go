@@ -21,10 +21,20 @@ func (r Result) String() string {
 }
 
 // Evaluate computes all metrics of estimated vs actual. Slices must be the
-// same non-zero length.
+// same non-zero length and finite throughout: a NaN or ±Inf anywhere would
+// silently poison every aggregate, so it is rejected with an error naming
+// the first offending slice, index, and value instead.
 func Evaluate(actual, estimated []float64) (Result, error) {
 	if len(actual) == 0 || len(actual) != len(estimated) {
 		return Result{}, fmt.Errorf("metrics: need equal non-empty slices, got %d and %d", len(actual), len(estimated))
+	}
+	for i := range actual {
+		if v := actual[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return Result{}, fmt.Errorf("metrics: actual[%d] is %v; all costs must be finite", i, v)
+		}
+		if v := estimated[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return Result{}, fmt.Errorf("metrics: estimated[%d] is %v; all costs must be finite", i, v)
+		}
 	}
 	return Result{
 		RE:  RelativeError(actual, estimated),

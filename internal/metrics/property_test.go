@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// positivePair draws a random (actual, estimated) slice pair with strictly
+// positive entries — the domain QErrorMean actually scores.
+func positivePair(rng *rand.Rand, n int) (actual, estimated []float64) {
+	actual = make([]float64, n)
+	estimated = make([]float64, n)
+	for i := range actual {
+		// Log-uniform over ~9 orders of magnitude to exercise the
+		// heavy-tailed cost range.
+		actual[i] = math.Exp(rng.Float64()*20 - 10)
+		estimated[i] = math.Exp(rng.Float64()*20 - 10)
+	}
+	return actual, estimated
+}
+
+// Property: q-error is symmetric in its arguments — max(a/e, e/a) does not
+// care which side is the truth.
+func TestQErrorMeanSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		actual, estimated := positivePair(rng, 1+rng.Intn(40))
+		ab := QErrorMean(actual, estimated)
+		ba := QErrorMean(estimated, actual)
+		if ab != ba {
+			t.Fatalf("trial %d: QErrorMean(a,e)=%v != QErrorMean(e,a)=%v", trial, ab, ba)
+		}
+	}
+}
+
+// Property: every per-pair q-error is max of a ratio and its reciprocal,
+// so the mean over any valid pair set is at least 1 — and exactly 1 only
+// for perfect predictions.
+func TestQErrorMeanAtLeastOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		actual, estimated := positivePair(rng, 1+rng.Intn(40))
+		if q := QErrorMean(actual, estimated); q < 1 {
+			t.Fatalf("trial %d: QErrorMean=%v < 1", trial, q)
+		}
+	}
+	perfect := []float64{0.25, 1, 3, 1e6}
+	if q := QErrorMean(perfect, perfect); q != 1 {
+		t.Fatalf("perfect prediction: QErrorMean=%v, want exactly 1", q)
+	}
+}
+
+// Property: non-positive pairs are skipped, so appending any number of
+// them leaves the mean unchanged.
+func TestQErrorMeanIgnoresNonPositivePairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	junk := [][2]float64{{0, 5}, {5, 0}, {-1, 2}, {2, -3}, {0, 0}, {-4, -4}}
+	for trial := 0; trial < 200; trial++ {
+		actual, estimated := positivePair(rng, 1+rng.Intn(40))
+		want := QErrorMean(actual, estimated)
+		for k := 0; k < 1+rng.Intn(len(junk)); k++ {
+			p := junk[rng.Intn(len(junk))]
+			actual = append(actual, p[0])
+			estimated = append(estimated, p[1])
+		}
+		if got := QErrorMean(actual, estimated); got != want {
+			t.Fatalf("trial %d: appending non-positive pairs changed QErrorMean %v → %v", trial, want, got)
+		}
+	}
+	if q := QErrorMean([]float64{0, -1}, []float64{1, 2}); q != 0 {
+		t.Fatalf("all pairs skipped: QErrorMean=%v, want 0", q)
+	}
+}
+
+func TestEvaluateRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name              string
+		actual, estimated []float64
+	}{
+		{"nan actual", []float64{1, math.NaN()}, []float64{1, 2}},
+		{"inf actual", []float64{math.Inf(1), 2}, []float64{1, 2}},
+		{"nan estimated", []float64{1, 2}, []float64{math.NaN(), 2}},
+		{"neg inf estimated", []float64{1, 2}, []float64{1, math.Inf(-1)}},
+	}
+	for _, tc := range cases {
+		if _, err := Evaluate(tc.actual, tc.estimated); err == nil {
+			t.Errorf("%s: Evaluate accepted non-finite input", tc.name)
+		}
+	}
+	if _, err := Evaluate([]float64{1, 2}, []float64{1.5, 2.5}); err != nil {
+		t.Errorf("finite input rejected: %v", err)
+	}
+}

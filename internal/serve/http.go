@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"raal/internal/physical"
 	"raal/internal/sparksim"
@@ -29,8 +33,15 @@ type HTTPConfig struct {
 	// (default 3, matching System.SelectPlan).
 	MaxCandidates int
 	// MaxBodyBytes bounds request bodies (default 1 MiB) — oversized
-	// payloads are rejected before JSON decoding.
+	// payloads are rejected with a typed 413 before JSON decoding.
 	MaxBodyBytes int64
+	// Metrics is the serving metric set (normally the Server's). When it
+	// carries a registry, the handler also exposes GET /metrics in the
+	// Prometheus text format. Nil serves unobserved.
+	Metrics *Metrics
+	// Logger receives structured request and lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Handler is the HTTP surface over a Server: estimation endpoints plus
@@ -40,9 +51,12 @@ type HTTPConfig struct {
 //	POST /select    {"sql": ...}   → price candidates, return the argmin
 //	GET  /healthz                  → 200 while the process lives
 //	GET  /readyz                   → 200 while admitting; 503 once draining
+//	GET  /metrics                  → Prometheus text exposition (when a
+//	                                 Metrics registry is configured)
 type Handler struct {
 	srv   *Server
 	cfg   HTTPConfig
+	log   *slog.Logger
 	mux   *http.ServeMux
 	ready atomic.Bool
 }
@@ -61,9 +75,19 @@ func NewHandler(srv *Server, cfg HTTPConfig) (*Handler, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	h := &Handler{srv: srv, cfg: cfg, mux: http.NewServeMux()}
-	h.mux.HandleFunc("POST /estimate", h.handleEstimate)
-	h.mux.HandleFunc("POST /select", h.handleSelect)
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{} // inert
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	h := &Handler{srv: srv, cfg: cfg, log: logger, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /estimate", h.observed("estimate", h.handleEstimate))
+	h.mux.HandleFunc("POST /select", h.observed("select", h.handleSelect))
+	if reg := cfg.Metrics.Registry(); reg != nil {
+		h.mux.Handle("GET /metrics", reg.Handler())
+	}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -83,13 +107,57 @@ func NewHandler(srv *Server, cfg HTTPConfig) (*Handler, error) {
 
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// observed wraps an estimation endpoint with its per-endpoint request
+// counter, latency histogram, response-code counter, and one structured
+// log line per request.
+func (h *Handler) observed(endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.cfg.Metrics.Requests.With(endpoint).Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		elapsed := time.Since(start)
+		h.cfg.Metrics.HTTPLatency.With(endpoint).Observe(elapsed.Seconds())
+		h.cfg.Metrics.Responses.With(strconv.Itoa(sw.code)).Inc()
+		level := slog.LevelInfo
+		if sw.code >= 400 {
+			level = slog.LevelWarn
+		}
+		h.log.LogAttrs(r.Context(), level, "request",
+			slog.String("endpoint", endpoint),
+			slog.Int("status", sw.code),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
 // Shutdown begins a graceful stop: readiness flips to 503 immediately (so
 // balancers stop routing here), new estimation requests are rejected with
 // ErrDraining, and in-flight ones are drained until ctx expires. Call it
 // before http.Server.Shutdown.
 func (h *Handler) Shutdown(ctx context.Context) error {
 	h.ready.Store(false)
-	return h.srv.Drain(ctx)
+	h.log.LogAttrs(ctx, slog.LevelInfo, "shutdown started",
+		slog.Int("inflight", h.srv.Inflight()))
+	err := h.srv.Drain(ctx)
+	if err != nil {
+		h.log.LogAttrs(ctx, slog.LevelWarn, "drain abandoned", slog.String("error", err.Error()))
+	} else {
+		h.log.LogAttrs(ctx, slog.LevelInfo, "drain complete")
+	}
+	return err
 }
 
 // estimateRequest is the JSON body of /estimate and /select. Resource
@@ -163,6 +231,15 @@ func (h *Handler) prepare(w http.ResponseWriter, r *http.Request) ([]*physical.P
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		// A body over the limit must answer a typed 413, not a generic
+		// decode failure: the payload never reaches the JSON decoder's
+		// semantics, it is simply too large to admit.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds %d byte limit", tooLarge.Limit)})
+			return nil, sparksim.Resources{}, false
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return nil, sparksim.Resources{}, false
 	}

@@ -93,6 +93,10 @@ type Config struct {
 	// Faults deterministically injects failures into the deep path
 	// (tests and chaos drills); nil injects nothing.
 	Faults *FaultConfig
+
+	// Metrics receives the serving telemetry (see NewMetrics); nil
+	// serves unobserved.
+	Metrics *Metrics
 }
 
 // Result is one served estimate.
@@ -112,6 +116,7 @@ type Result struct {
 // are safe for concurrent use.
 type Server struct {
 	cfg      Config
+	met      *Metrics // never nil; zero value is a no-op set
 	slots    chan struct{}
 	queued   atomic.Int64
 	reqIndex atomic.Uint64
@@ -133,7 +138,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 0 {
 		cfg.QueueDepth = 0
 	}
-	return &Server{cfg: cfg, slots: make(chan struct{}, cfg.Concurrency)}, nil
+	met := cfg.Metrics
+	if met == nil {
+		met = &Metrics{} // nil fields: every observation is a no-op
+	}
+	return &Server{cfg: cfg, met: met, slots: make(chan struct{}, cfg.Concurrency)}, nil
 }
 
 // Ready reports whether the server accepts new requests.
@@ -165,12 +174,15 @@ func (s *Server) Drain(ctx context.Context) error {
 // busy. The returned release func must be called exactly once.
 func (s *Server) admit(ctx context.Context) (func(), error) {
 	if s.draining.Load() {
+		s.met.DrainRejects.Inc()
 		return nil, ErrDraining
 	}
 	s.inflight.Add(1)
+	s.met.Inflight.Inc()
 	release := func() {
 		<-s.slots
 		s.inflight.Add(-1)
+		s.met.Inflight.Dec()
 	}
 	select {
 	case s.slots <- struct{}{}:
@@ -180,16 +192,22 @@ func (s *Server) admit(ctx context.Context) (func(), error) {
 	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.inflight.Add(-1)
+		s.met.Inflight.Dec()
+		s.met.AdmissionRejects.Inc()
 		return nil, fmt.Errorf("%w (%d running, %d queued)", ErrOverloaded,
 			s.cfg.Concurrency, s.cfg.QueueDepth)
 	}
+	s.met.Queue.Inc()
 	select {
 	case s.slots <- struct{}{}:
 		s.queued.Add(-1)
+		s.met.Queue.Dec()
 		return release, nil
 	case <-ctx.Done():
 		s.queued.Add(-1)
 		s.inflight.Add(-1)
+		s.met.Queue.Dec()
+		s.met.Inflight.Dec()
 		return nil, ctx.Err()
 	}
 }
@@ -285,6 +303,8 @@ func (s *Server) serve(ctx context.Context, deep, fallback func(context.Context)
 	}
 	defer release()
 	idx := s.reqIndex.Add(1)
+	start := time.Now()
+	served := func() { s.met.PredictLatency.Observe(time.Since(start).Seconds()) }
 
 	// Fallback-only server: the analytical model is the primary.
 	if s.cfg.Deep == nil {
@@ -292,6 +312,7 @@ func (s *Server) serve(ctx context.Context, deep, fallback func(context.Context)
 		if err != nil {
 			return nil, Result{}, err
 		}
+		served()
 		return preds, Result{Source: "analytic"}, nil
 	}
 
@@ -303,6 +324,7 @@ func (s *Server) serve(ctx context.Context, deep, fallback func(context.Context)
 	}
 	preds, deepErr := s.guarded(dctx, idx, deep)
 	if deepErr == nil {
+		served()
 		return preds, Result{Source: "model"}, nil
 	}
 	// The caller itself is gone: degrading would price a plan nobody
@@ -311,6 +333,9 @@ func (s *Server) serve(ctx context.Context, deep, fallback func(context.Context)
 		return nil, Result{}, ctx.Err()
 	}
 	missed := errors.Is(deepErr, context.DeadlineExceeded)
+	if missed {
+		s.met.DeadlineExpiries.Inc()
+	}
 	if missed && s.cfg.OnDeadline == FailOnDeadline {
 		return nil, Result{}, fmt.Errorf("%w (budget %v)", ErrDeadline, s.cfg.Deadline)
 	}
@@ -325,6 +350,8 @@ func (s *Server) serve(ctx context.Context, deep, fallback func(context.Context)
 		// Both estimators down; the deep failure is the one to report.
 		return nil, Result{}, deepErr
 	}
+	s.met.Degraded.Inc()
+	served()
 	return preds, Result{Source: "fallback", Degraded: true, Reason: deepErr.Error()}, nil
 }
 
@@ -343,6 +370,17 @@ func (s *Server) guarded(ctx context.Context, idx uint64, fn func(context.Contex
 			}
 		}()
 		if idx != 0 {
+			if delay, errF, panicF := s.cfg.Faults.Fires(idx); delay || errF || panicF {
+				if delay {
+					s.met.Faults.With("delay").Inc()
+				}
+				if errF {
+					s.met.Faults.With("error").Inc()
+				}
+				if panicF {
+					s.met.Faults.With("panic").Inc()
+				}
+			}
 			if err := s.cfg.Faults.apply(ctx, idx); err != nil {
 				done <- outcome{err: err}
 				return

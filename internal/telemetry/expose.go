@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): a `# HELP` and `# TYPE` pair per
+// family, then one sample line per child, families sorted by name and
+// children by label value. Values observed concurrently with a scrape
+// land in either this scrape or the next — each individual sample is an
+// atomic read.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.sortedChildren() {
+			switch m := c.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelPair(f.label, m.labelValue), formatUint(m.Value()))
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelPair(f.label, m.labelValue), formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(bw, f, m)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count. The per-bucket counts are read once and accumulated, so the
+// emitted `le` series is always non-decreasing even mid-scrape.
+func writeHistogram(bw *bufio.Writer, f *family, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(bw, "%s_bucket%s %s\n", f.name,
+			labelPairs(f.label, h.labelValue, "le", formatFloat(bound)), formatUint(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(bw, "%s_bucket%s %s\n", f.name,
+		labelPairs(f.label, h.labelValue, "le", "+Inf"), formatUint(cum))
+	fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelPair(f.label, h.labelValue), formatFloat(h.Sum()))
+	fmt.Fprintf(bw, "%s_count%s %s\n", f.name, labelPair(f.label, h.labelValue), formatUint(cum))
+}
+
+// labelPair renders `{key="value"}`, or "" for unlabeled children.
+// strconv.Quote escapes the double quote, backslash, and newline exactly
+// as the exposition format requires.
+func labelPair(key, value string) string {
+	if key == "" || value == "" {
+		return ""
+	}
+	return "{" + key + "=" + strconv.Quote(value) + "}"
+}
+
+// labelPairs renders up to two label pairs (the vec label, if any, plus
+// one extra such as a histogram's `le`).
+func labelPairs(key, value, extraKey, extraValue string) string {
+	var parts []string
+	if key != "" && value != "" {
+		parts = append(parts, key+"="+strconv.Quote(value))
+	}
+	parts = append(parts, extraKey+`="`+extraValue+`"`)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeHelp escapes backslash and newline in help text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// Handler returns an http.Handler that serves the registry in the text
+// exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

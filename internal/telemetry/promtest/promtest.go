@@ -1,0 +1,140 @@
+// Package promtest validates Prometheus text-exposition output in
+// tests, the way net/http/httptest supports HTTP tests. It deliberately
+// re-implements the format rules rather than calling the telemetry
+// writer, so a writer bug cannot validate itself.
+package promtest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// metricLine matches one exposition sample: name, optional {labels},
+// value, optional timestamp.
+var metricLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? \S+( [0-9]+)?$`)
+
+// Validate checks body line by line against the text exposition format
+// (version 0.0.4): every line must be a well-formed comment or sample,
+// each family's TYPE must precede its samples, and sample values must
+// parse as floats (or ±Inf/NaN).
+func Validate(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Fatalf("line %d: unknown TYPE %q", ln+1, parts[3])
+				}
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		if !metricLine.MatchString(line) {
+			t.Fatalf("line %d: not a valid sample line: %q", ln+1, line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		fam := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[fam]; !ok && typed[name] == "" {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		rest := line // strip "name" or "name{...}" — the value is next
+		if j := strings.LastIndex(line, "}"); j >= 0 {
+			rest = line[j+1:]
+		} else {
+			rest = line[strings.Index(line, " "):]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			t.Fatalf("line %d: no value: %q", ln+1, line)
+		}
+		val := fields[0]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("line %d: value %q does not parse: %v", ln+1, val, err)
+			}
+		}
+	}
+}
+
+// HistogramCumulative asserts the family's le-bucket series is
+// non-decreasing within every label combination.
+func HistogramCumulative(t *testing.T, body, fam string) {
+	t.Helper()
+	last := map[string]float64{} // series key (labels minus le) → last cum
+	seen := false
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, fam+"_bucket") {
+			continue
+		}
+		seen = true
+		key := "" // collapse to the non-le labels
+		if i := strings.Index(line, "{"); i >= 0 {
+			j := strings.Index(line, "}")
+			for _, p := range strings.Split(line[i+1:j], ",") {
+				if !strings.HasPrefix(p, "le=") {
+					key += p + ";"
+				}
+			}
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if v < last[key] {
+			t.Fatalf("%s: cumulative bucket decreased in %q", fam, line)
+		}
+		last[key] = v
+	}
+	if !seen {
+		t.Fatalf("no %s_bucket series found", fam)
+	}
+}
+
+// Value extracts the value of the first sample whose name (and label
+// set, when labels is non-empty) matches; it fails the test if absent.
+// labels is matched as a substring of the rendered label block, e.g.
+// `endpoint="estimate"`.
+func Value(t *testing.T, body, name, labels string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // longer metric name sharing the prefix
+		}
+		if labels != "" && !strings.Contains(rest, labels) {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q value: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s%s not found in exposition:\n%s", name, labels, body)
+	return 0
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanStagesAccumulate(t *testing.T) {
+	sp := StartSpan("predict")
+	for i := 0; i < 3; i++ { // repeated stages accumulate, like chunked predicts
+		stop := sp.Stage("embed")
+		time.Sleep(time.Millisecond)
+		stop()
+		stop = sp.Stage("lstm")
+		time.Sleep(2 * time.Millisecond)
+		stop()
+	}
+	total := sp.End()
+
+	stages := sp.Stages()
+	if len(stages) != 2 || stages[0].Name != "embed" || stages[1].Name != "lstm" {
+		t.Fatalf("stages = %+v, want embed,lstm in entry order", stages)
+	}
+	if sp.Dur("embed") <= 0 || sp.Dur("lstm") <= 0 {
+		t.Fatal("stage durations must be positive")
+	}
+	if sp.Dur("lstm") < sp.Dur("embed") {
+		t.Errorf("lstm (%v) slept twice as long as embed (%v)", sp.Dur("lstm"), sp.Dur("embed"))
+	}
+	var sum time.Duration
+	for _, st := range stages {
+		sum += st.Dur
+	}
+	if sum > total {
+		t.Fatalf("serial stage durations (%v) exceed span total (%v)", sum, total)
+	}
+	if sp.Total() != total {
+		t.Fatal("Total must be fixed after End")
+	}
+}
+
+func TestSpanStringAndName(t *testing.T) {
+	sp := StartSpan("estimate")
+	sp.Stage("encode")()
+	sp.End()
+	if sp.Name() != "estimate" {
+		t.Fatalf("name = %q", sp.Name())
+	}
+	s := sp.String()
+	if !strings.Contains(s, "estimate") || !strings.Contains(s, "encode=") || !strings.Contains(s, "total=") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.Stage("x")()
+	if sp.End() != 0 || sp.Total() != 0 || sp.Dur("x") != 0 || sp.Stages() != nil || sp.Name() != "" {
+		t.Fatal("nil span must be inert")
+	}
+	if sp.String() != "<nil span>" {
+		t.Fatalf("nil String() = %q", sp.String())
+	}
+}
+
+func TestSpanOpenTotalRuns(t *testing.T) {
+	sp := StartSpan("open")
+	a := sp.Total()
+	time.Sleep(time.Millisecond)
+	b := sp.Total()
+	if b <= a {
+		t.Fatal("open span Total must advance")
+	}
+}

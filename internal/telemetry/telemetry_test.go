@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"raal/internal/telemetry/promtest"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.NewGauge("test_depth", "depth")
+	g.Set(3)
+	g.Add(2.5)
+	g.Dec()
+	if got := g.Value(); got != 4.5 {
+		t.Fatalf("gauge = %g, want 4.5", got)
+	}
+}
+
+func TestGetOrCreateReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "dup")
+	b := r.NewCounter("dup_total", "dup")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the existing one")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering dup_total as a gauge should panic")
+		}
+	}()
+	r.NewGauge("dup_total", "now a gauge")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name should panic")
+		}
+	}()
+	r.NewCounter("9starts_with_digit", "bad")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.5 + 0.5 + 5 + 50; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), want)
+	}
+	// Exposition must be cumulative: le=0.1→1, le=1→3, le=10→4, +Inf→5.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`test_lat_seconds_bucket{le="0.1"} 1`,
+		`test_lat_seconds_bucket{le="1"} 3`,
+		`test_lat_seconds_bucket{le="10"} 4`,
+		`test_lat_seconds_bucket{le="+Inf"} 5`,
+		`test_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestVecChildrenPreMaterialized(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_req_total", "requests", "endpoint", "estimate", "select")
+	v.With("estimate").Inc()
+	v.With("estimate").Inc()
+	v.With("select").Inc()
+	if v.With("estimate").Value() != 2 || v.With("select").Value() != 1 {
+		t.Fatal("vec children miscounted")
+	}
+	// Unknown label values are dropped silently (nil no-op child).
+	v.With("unknown").Inc()
+	if v.With("unknown") != nil {
+		t.Fatal("unknown label value must yield a nil (no-op) child")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `test_req_total{endpoint="estimate"} 2`) ||
+		!strings.Contains(buf.String(), `test_req_total{endpoint="select"} 1`) {
+		t.Fatalf("vec exposition wrong:\n%s", buf.String())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	var sp *Span
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.With("x").Inc()
+	hv.With("x").Observe(1)
+	sp.Stage("s")()
+	sp.End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || sp.Total() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+}
+
+// TestCountersStrictlyIncreaseConcurrently hammers one counter, one
+// gauge, and one histogram from many goroutines while a scraper reads
+// them; run under -race this is the data-race proof, and the final
+// values prove no increment is lost.
+func TestCountersStrictlyIncreaseConcurrently(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_ops_total", "ops")
+	g := r.NewGauge("conc_level", "level")
+	h := r.NewHistogram("conc_lat_seconds", "lat", []float64{0.5})
+	v := r.NewCounterVec("conc_by_kind_total", "by kind", "kind", "a", "b")
+
+	const workers, perWorker = 8, 2000
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() { // concurrent scraper: reads must never go backwards
+		defer close(scraperDone)
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now := c.Value()
+			if now < last {
+				t.Error("counter went backwards")
+				return
+			}
+			last = now
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.9)
+				if w%2 == 0 {
+					v.With("a").Inc()
+				} else {
+					v.With("b").Inc()
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	<-scraperDone
+
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if v.With("a").Value()+v.With("b").Value() != workers*perWorker {
+		t.Fatal("vec children lost increments")
+	}
+}
+
+func TestExpositionIsValidPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("app_requests_total", "total requests").Add(7)
+	r.NewGauge("app_queue_depth", "queued requests").Set(3)
+	r.NewHistogram("app_latency_seconds", "request latency", nil).Observe(0.02)
+	v := r.NewCounterVec("app_by_endpoint_total", "per endpoint", "endpoint", "estimate", "select")
+	v.With("estimate").Add(2)
+	hv := r.NewHistogramVec("app_ep_seconds", "per-endpoint latency", []float64{0.01, 0.1}, "endpoint", "estimate", "select")
+	hv.With("select").Observe(0.05)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	promtest.Validate(t, body)
+
+	// Histogram invariant: cumulative buckets are non-decreasing and
+	// +Inf equals _count.
+	promtest.HistogramCumulative(t, body, "app_latency_seconds")
+	promtest.HistogramCumulative(t, body, "app_ep_seconds")
+}
+
+func TestHelpAndLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "help with \\ backslash\nand newline").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `help with \\ backslash\nand newline`) {
+		t.Fatalf("help not escaped:\n%s", buf.String())
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "\t") {
+			t.Fatalf("raw control char leaked into exposition: %q", line)
+		}
+	}
+}
+
+func ExampleRegistry_WriteText() {
+	r := NewRegistry()
+	r.NewCounter("example_total", "an example counter").Add(3)
+	var buf bytes.Buffer
+	_ = r.WriteText(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP example_total an example counter
+	// # TYPE example_total counter
+	// example_total 3
+}

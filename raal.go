@@ -28,6 +28,7 @@ import (
 	"raal/internal/metrics"
 	"raal/internal/physical"
 	"raal/internal/sparksim"
+	"raal/internal/telemetry"
 	"raal/internal/workload"
 )
 
@@ -67,7 +68,19 @@ type (
 	// PredictOpts tunes data-parallel inference (worker count and samples
 	// per forward pass). The zero value uses GOMAXPROCS workers.
 	PredictOpts = core.PredictOpts
+	// MetricsRegistry collects counters, gauges, and histograms and writes
+	// them in the Prometheus text exposition format (see NewMetricsRegistry
+	// and CostModel.Instrument).
+	MetricsRegistry = telemetry.Registry
+	// Span is a per-stage wall-time breakdown of one inference call (see
+	// CostModel.EstimateTraced).
+	Span = telemetry.Span
 )
+
+// NewMetricsRegistry returns an empty metrics registry. Wire it into
+// TrainOptions.Metrics or CostModel.Instrument, then expose it over HTTP
+// with its Handler method or serialize it with WriteText.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Model architecture constructors (paper Sec. IV-D and ablations).
 var (
