@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel vet fuzz cover check
+.PHONY: build test race bench bench-parallel benchjson vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ bench:
 # Data-parallel speedup curves: Predict/Fit by worker count.
 bench-parallel:
 	$(GO) test ./internal/core -run=XXX -bench 'BenchmarkPredict|BenchmarkFit' -benchmem
+
+# Machine-readable hot-path numbers (results/BENCH_micro.json); compare
+# runs with: go run ./cmd/benchdiff results/BENCH_micro.json new.json
+benchjson:
+	$(GO) run ./cmd/raalbench -exp micro -json -outdir results
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,112 @@
+package raal
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"raal/internal/encode"
+)
+
+// encodeCache is a mutex-guarded LRU from plan fingerprints to encoded
+// samples. Plan encoding walks the whole operator tree (word2vec lookups,
+// statistics aggregation) on every Estimate call, yet serving workloads
+// re-submit the same few plans under the same allocations over and over;
+// caching the encoder's output removes that repeated walk entirely. The
+// encoder is deterministic — identical (plan, resources) inputs yield
+// identical samples — so serving a cached *Sample is bit-identical to
+// re-encoding, and the model never mutates the samples it scores.
+type encodeCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	sample *encode.Sample
+}
+
+func newEncodeCache(capacity int) *encodeCache {
+	return &encodeCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *encodeCache) get(key string) (*encode.Sample, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).sample, true
+}
+
+func (c *encodeCache) add(key string, s *encode.Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).sample = s
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, sample: s})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *encodeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// planKey fingerprints everything the encoder reads from a (plan,
+// resources) pair: the full resource feature vector and, per node in
+// execution order, its identity, rendered statement (which folds in the
+// operator's tables, predicates, keys, and aggregates), cardinality and
+// width statistics, and child IDs. Fields the encoder never looks at
+// (ActRows, Skew) stay out of the key so post-execution annotation does
+// not defeat caching. The key is the exact canonical string — not a hash —
+// so distinct inputs can never collide into a stale sample.
+func planKey(p *Plan, res Resources) string {
+	var b strings.Builder
+	for _, v := range res.Vector() {
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte(',')
+	}
+	b.WriteByte('\x1e')
+	if p.Root != nil {
+		b.WriteString(strconv.Itoa(p.Root.ID))
+	}
+	b.WriteByte('\x1e')
+	for _, n := range p.Nodes {
+		b.WriteString(strconv.Itoa(n.ID))
+		b.WriteByte('\x1f')
+		b.WriteString(strconv.Itoa(int(n.Op)))
+		b.WriteByte('\x1f')
+		b.WriteString(n.Statement())
+		b.WriteByte('\x1f')
+		b.WriteString(strconv.FormatFloat(n.EstRows, 'g', -1, 64))
+		b.WriteByte('\x1f')
+		b.WriteString(strconv.FormatFloat(n.RawRows, 'g', -1, 64))
+		b.WriteByte('\x1f')
+		b.WriteString(strconv.FormatFloat(n.RowBytes, 'g', -1, 64))
+		b.WriteByte('\x1f')
+		for _, c := range n.Children {
+			b.WriteString(strconv.Itoa(c.ID))
+			b.WriteByte(',')
+		}
+		b.WriteByte('\x1e')
+	}
+	return b.String()
+}

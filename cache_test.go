@@ -1,0 +1,230 @@
+package raal
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"raal/internal/encode"
+	"raal/internal/physical"
+	"raal/internal/serve"
+	"raal/internal/sparksim"
+	"raal/internal/telemetry"
+)
+
+func TestEncodeCacheLRUEviction(t *testing.T) {
+	c := newEncodeCache(2)
+	a, b, d := new(encode.Sample), new(encode.Sample), new(encode.Sample)
+	c.add("a", a)
+	c.add("b", b)
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.add("d", d) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if s, ok := c.get("a"); !ok || s != a {
+		t.Fatal("a should have survived the eviction")
+	}
+	if s, ok := c.get("d"); !ok || s != d {
+		t.Fatal("d should be cached")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Re-adding an existing key must update in place, not grow.
+	c.add("d", a)
+	if s, _ := c.get("d"); s != a {
+		t.Fatal("re-add should replace the stored sample")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after re-add = %d, want 2", c.len())
+	}
+}
+
+func TestPlanKeyFingerprint(t *testing.T) {
+	sys, _, _ := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("want multiple candidate plans, got %d", len(plans))
+	}
+	res := DefaultResources()
+
+	if planKey(plans[0], res) != planKey(plans[0], res) {
+		t.Fatal("identical inputs must produce identical keys")
+	}
+	if planKey(plans[0], res) == planKey(plans[1], res) {
+		t.Fatal("different candidate plans must produce different keys")
+	}
+	res2 := res
+	res2.ExecMemMB *= 2
+	if planKey(plans[0], res) == planKey(plans[0], res2) {
+		t.Fatal("different resources must produce different keys")
+	}
+	// Fields the encoder never reads must not defeat caching: annotating
+	// actual rows after execution keeps the fingerprint stable.
+	plans2, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planKey(plans[0], res) != planKey(plans2[0], res) {
+		t.Fatal("re-planning the same SQL must produce the same key")
+	}
+	plans2[0].Nodes[0].ActRows = 12345
+	plans2[0].Nodes[0].Skew = 0.9
+	if planKey(plans[0], res) != planKey(plans2[0], res) {
+		t.Fatal("ActRows/Skew are not encoder inputs and must not change the key")
+	}
+}
+
+func TestEstimateUsesEncodeCache(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, res := plans[0], DefaultResources()
+
+	base := cm.Estimate(p, res) // uncached reference
+
+	reg := telemetry.NewRegistry()
+	cm.Instrument(reg)
+	cm.EnableEncodeCache(8)
+	t.Cleanup(func() { cm.EnableEncodeCache(0) })
+
+	if got := cm.Estimate(p, res); got != base {
+		t.Fatalf("first cached estimate %v != uncached %v", got, base)
+	}
+	if got := cm.Estimate(p, res); got != base {
+		t.Fatalf("repeat cached estimate %v != uncached %v", got, base)
+	}
+	if h, m := cm.api.encHits.Value(), cm.api.encMisses.Value(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1 hit and 1 miss after two identical estimates", h, m)
+	}
+
+	// A different allocation is a different key: miss, then hit.
+	res2 := res
+	res2.Executors = 8
+	cm.Estimate(p, res2)
+	cm.Estimate(p, res2)
+	if h, m := cm.api.encHits.Value(), cm.api.encMisses.Value(); h != 2 || m != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2 hits and 2 misses", h, m)
+	}
+}
+
+func TestEncodeCacheBitIdenticalAcrossAPIs(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	query := `SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id AND mc.company_id < 50`
+	plans, err := sys.Plan(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResources()
+	grid := DefaultResourceGrid()[:10]
+
+	plain := cm.EstimateBatch(plans, res)
+	plainRec, plainCost := cm.RecommendResources(plans[0], grid)
+
+	cm.EnableEncodeCache(64)
+	t.Cleanup(func() { cm.EnableEncodeCache(0) })
+	for round := 0; round < 2; round++ { // round 2 is fully cache-served
+		cached := cm.EstimateBatch(plans, res)
+		for i := range plain {
+			if cached[i] != plain[i] {
+				t.Fatalf("round %d: cached batch estimate %d = %v, want %v", round, i, cached[i], plain[i])
+			}
+		}
+		rec, cost := cm.RecommendResources(plans[0], grid)
+		if rec != plainRec || cost != plainCost {
+			t.Fatalf("round %d: cached recommendation (%v, %v) != uncached (%v, %v)",
+				round, rec, cost, plainRec, plainCost)
+		}
+	}
+}
+
+// TestServeEncodeCacheSkipsReencode drives the HTTP serving stack end to
+// end: the same SQL POSTed twice should hit the encode cache on the second
+// request (the planner emits a fresh plan object each time, so the hit
+// proves the fingerprint key, not pointer identity), and both cache
+// counters must be visible in the /metrics exposition.
+func TestServeEncodeCacheSkipsReencode(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+
+	reg := telemetry.NewRegistry()
+	met := serve.NewMetrics(reg)
+	cm.Instrument(reg)
+	cm.EnableEncodeCache(32)
+	t.Cleanup(func() { cm.EnableEncodeCache(0) })
+
+	srv, err := serve.New(serve.Config{
+		Deep: func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+			return cm.EstimateCtx(ctx, p, res)
+		},
+		Metrics: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler, err := serve.NewHandler(srv, serve.HTTPConfig{
+		Planner: sys.Plan,
+		Metrics: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"sql": "SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 100"}`
+	var costs []string
+	for i := 0; i < 2; i++ {
+		req := httptest.NewRequest("POST", "/estimate", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rr.Code, rr.Body.String())
+		}
+		costs = append(costs, rr.Body.String())
+	}
+	if costs[0] != costs[1] {
+		t.Fatalf("cached request changed the response: %q vs %q", costs[0], costs[1])
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rr.Code)
+	}
+	hits := metricValue(t, rr.Body.String(), "raal_encode_cache_hits_total")
+	misses := metricValue(t, rr.Body.String(), "raal_encode_cache_misses_total")
+	if misses != 1 {
+		t.Fatalf("raal_encode_cache_misses_total = %v, want 1 (first request encodes)", misses)
+	}
+	if hits != 1 {
+		t.Fatalf("raal_encode_cache_hits_total = %v, want 1 (second request skips re-encoding)", hits)
+	}
+}
+
+// metricValue extracts a counter's value from a Prometheus text exposition.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+		if err != nil {
+			t.Fatalf("parsing %s from %q: %v", name, line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, exposition)
+	return 0
+}
+

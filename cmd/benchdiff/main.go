@@ -1,0 +1,110 @@
+// Command benchdiff compares two machine-readable benchmark reports
+// (BENCH_*.json, written by raalbench -json) and fails when the new run
+// regresses, gating performance in CI the way tests gate correctness.
+//
+// Usage:
+//
+//	benchdiff old.json new.json                 # fail on >15% ns/op regression
+//	benchdiff -threshold 0.05 old.json new.json # tighter gate
+//
+// Benchmarks present in only one file are reported but never fail the
+// diff, so adding or retiring a benchmark does not break the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type bench struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+}
+
+type report struct {
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated ns/op regression as a fraction (0.15 = +15%)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold frac] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	oldBy := make(map[string]bench, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("%-24s %14s %14s %9s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	failed := false
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.0f %9s %12s\n", nb.Name, "-", nb.NsOp, "new", "-")
+			continue
+		}
+		delta := 0.0
+		if ob.NsOp > 0 {
+			delta = nb.NsOp/ob.NsOp - 1
+		}
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%% %6.0f→%-6.0f%s\n",
+			nb.Name, ob.NsOp, nb.NsOp, delta*100, ob.AllocsOp, nb.AllocsOp, mark)
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Printf("%-24s %14.0f %14s %9s %12s\n", ob.Name, ob.NsOp, "-", "gone", "-")
+		}
+	}
+
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regressed beyond +%.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "global seed")
 		quick   = flag.Bool("quick", false, "small settings for a fast smoke run")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV data (figures only)")
+		jsonOut = flag.Bool("json", false, "also write machine-readable BENCH_<exp>.json to -outdir for experiments that support it (see cmd/benchdiff)")
 		outDir  = flag.String("outdir", "results", "directory for the bench report file, mirrored to stdout (empty = stdout only)")
 		workers = flag.Int("workers", 0, "training worker goroutines (0 = serial; results are identical for any value)")
 		shard   = flag.Int("shard", 0, "gradient-accumulation shard size (0 = whole batch)")
@@ -150,7 +151,34 @@ func main() {
 				}
 			}
 		}
+		if *jsonOut {
+			if j, ok := rep.(experiments.JSONer); ok {
+				dir := *outDir
+				if dir == "" {
+					dir = "."
+				}
+				path, err := writeJSON(dir, r.Name, j)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "json %s: %v\n", r.Name, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
 	}
+}
+
+func writeJSON(dir, name string, j experiments.JSONer) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	return path, j.JSON(f)
 }
 
 func writeCSV(dir, name string, c experiments.CSVer) error {

@@ -62,6 +62,7 @@ func main() {
 		deadline   = flag.Duration("deadline", 500*time.Millisecond, "per-request estimation budget (0 = none)")
 		onDeadline = flag.String("on-deadline", "fallback", "deadline-miss policy: fallback (degrade to GPSJ) or fail (504)")
 		candidates = flag.Int("max-candidates", 3, "candidate plans priced by /select")
+		encCache   = flag.Int("encode-cache", 256, "feature-encoding LRU capacity in plans (0 disables; repeated plans skip re-encoding)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
@@ -118,6 +119,7 @@ func main() {
 			fatal("loading model", "error", err)
 		}
 		cm.Instrument(reg)
+		cm.EnableEncodeCache(*encCache)
 		cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
 			return cm.EstimateCtx(ctx, p, res)
 		}
@@ -125,7 +127,7 @@ func main() {
 			return cm.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
 		}
 		logger.Info("serving deep model with GPSJ fallback armed",
-			"variant", cm.Variant().Name, "model", *modelPath)
+			"variant", cm.Variant().Name, "model", *modelPath, "encode_cache", *encCache)
 	} else {
 		logger.Info("no -model given; serving GPSJ analytical estimates only")
 	}

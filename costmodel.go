@@ -26,6 +26,7 @@ type CostModel struct {
 	enc   *encode.Encoder
 	model *core.Model
 	api   apiCounters
+	cache *encodeCache // nil until EnableEncodeCache
 }
 
 // apiCounters tracks public estimation-API usage. The zero value (nil
@@ -34,6 +35,8 @@ type apiCounters struct {
 	estimates  *telemetry.Counter // Estimate / EstimateCtx / EstimateBatch* calls
 	selects    *telemetry.Counter // SelectPlan / SelectPlanCtx calls
 	recommends *telemetry.Counter // RecommendResources* calls
+	encHits    *telemetry.Counter // encode-cache lookups served without re-encoding
+	encMisses  *telemetry.Counter // encode-cache lookups that fell through to EncodePlan
 }
 
 // Instrument registers this model's telemetry on reg: API call counters
@@ -53,7 +56,44 @@ func (cm *CostModel) Instrument(reg *telemetry.Registry) {
 		"Plan-selection API calls (SelectPlan variants).")
 	cm.api.recommends = reg.NewCounter("raal_api_resource_recommendations_total",
 		"Resource-recommendation API calls (RecommendResources variants).")
+	cm.api.encHits = reg.NewCounter("raal_encode_cache_hits_total",
+		"Plan encodings served from the feature-encoding cache.")
+	cm.api.encMisses = reg.NewCounter("raal_encode_cache_misses_total",
+		"Plan encodings that missed the feature-encoding cache.")
 	cm.model.Instrument(core.NewInstrumentation(reg))
+}
+
+// EnableEncodeCache attaches an LRU of up to capacity encoded plans to the
+// estimation APIs: a repeated (plan, resources) pair reuses its cached
+// feature sample instead of re-walking the operator tree. Estimates are
+// bit-identical with and without the cache (the encoder is deterministic
+// and samples are immutable once built). capacity <= 0 disables caching.
+// Safe for concurrent use once set, but call before the model starts
+// serving; hits and misses are visible as raal_encode_cache_{hits,misses}
+// when the model is instrumented.
+func (cm *CostModel) EnableEncodeCache(capacity int) {
+	if capacity <= 0 {
+		cm.cache = nil
+		return
+	}
+	cm.cache = newEncodeCache(capacity)
+}
+
+// encodePlan is the cache-aware front door to the encoder: every
+// estimation path routes through it so hit accounting stays consistent.
+func (cm *CostModel) encodePlan(p *Plan, res Resources) *Sample {
+	if cm.cache == nil {
+		return cm.enc.EncodePlan(p, res)
+	}
+	key := planKey(p, res)
+	if s, ok := cm.cache.get(key); ok {
+		cm.api.encHits.Inc()
+		return s
+	}
+	cm.api.encMisses.Inc()
+	s := cm.enc.EncodePlan(p, res)
+	cm.cache.add(key, s)
+	return s
 }
 
 // TrainOptions controls cost-model training.
@@ -162,7 +202,7 @@ func (cm *CostModel) Variant() Variant { return cm.model.Var }
 // Estimate predicts the execution cost (seconds) of plan p under res.
 func (cm *CostModel) Estimate(p *Plan, res Resources) float64 {
 	cm.api.estimates.Inc()
-	s := cm.enc.EncodePlan(p, res)
+	s := cm.encodePlan(p, res)
 	return cm.model.Predict([]*Sample{s})[0]
 }
 
@@ -175,7 +215,7 @@ func (cm *CostModel) EstimateTraced(p *Plan, res Resources) (float64, *telemetry
 	cm.api.estimates.Inc()
 	sp := telemetry.StartSpan("estimate")
 	stop := sp.Stage("encode")
-	s := cm.enc.EncodePlan(p, res)
+	s := cm.encodePlan(p, res)
 	stop()
 	preds := cm.model.PredictSpan([]*Sample{s}, sp)
 	sp.End()
@@ -186,7 +226,7 @@ func (cm *CostModel) EstimateTraced(p *Plan, res Resources) (float64, *telemetry
 // expired context aborts the forward pass boundary and returns ctx.Err().
 func (cm *CostModel) EstimateCtx(ctx context.Context, p *Plan, res Resources) (float64, error) {
 	cm.api.estimates.Inc()
-	s := cm.enc.EncodePlan(p, res)
+	s := cm.encodePlan(p, res)
 	preds, err := cm.model.PredictCtx(ctx, []*Sample{s}, core.PredictOpts{})
 	if err != nil {
 		return 0, err
@@ -219,7 +259,7 @@ func (cm *CostModel) EstimateBatchCtx(ctx context.Context, plans []*Plan, res Re
 func (cm *CostModel) planSamples(plans []*Plan, res Resources) []*Sample {
 	samples := make([]*Sample, len(plans))
 	for i, p := range plans {
-		samples[i] = cm.enc.EncodePlan(p, res)
+		samples[i] = cm.encodePlan(p, res)
 	}
 	return samples
 }
@@ -293,7 +333,7 @@ func (cm *CostModel) RecommendResourcesCtx(ctx context.Context, p *Plan, grid []
 func (cm *CostModel) gridSamples(p *Plan, grid []Resources) []*Sample {
 	samples := make([]*Sample, len(grid))
 	for i, res := range grid {
-		samples[i] = cm.enc.EncodePlan(p, res)
+		samples[i] = cm.encodePlan(p, res)
 	}
 	return samples
 }

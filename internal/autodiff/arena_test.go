@@ -1,0 +1,208 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+
+	"raal/internal/tensor"
+)
+
+// mlpForward builds a small two-layer network with every fused op the
+// model layers use: matmul, fused bias+activation, element-wise ops, and
+// a scalar loss.
+func mlpForward(tp *Tape, w1, b1, w2, b2 *Var, x *tensor.Matrix) *Var {
+	h := tp.AddRowApply(tp.MatMul(tp.Const(x), w1), b1, ActTanh)
+	y := tp.AddRowApply(tp.MatMul(h, w2), b2, ActIdentity)
+	return tp.MeanAll(tp.Mul(y, y))
+}
+
+func arenaFixture(seed int64) (w1, b1, w2, b2, x *tensor.Matrix) {
+	rng := rand.New(rand.NewSource(seed))
+	w1 = tensor.Randn(5, 7, 0.5, rng)
+	b1 = tensor.Randn(1, 7, 0.5, rng)
+	w2 = tensor.Randn(7, 3, 0.5, rng)
+	b2 = tensor.Randn(1, 3, 0.5, rng)
+	x = tensor.Randn(4, 5, 1, rng)
+	return
+}
+
+// TestResetReusesArenaBitIdentical runs the same graph on one tape many
+// times with Reset between passes and on a fresh tape each pass: values
+// and gradients must match bit for bit — the arena may never change what
+// is computed, only where it lives.
+func TestResetReusesArenaBitIdentical(t *testing.T) {
+	w1, b1, w2, b2, x := arenaFixture(3)
+
+	pooled := NewTape()
+	for pass := 0; pass < 5; pass++ {
+		pooled.Reset()
+		pv := [4]*Var{pooled.Param(w1), pooled.Param(b1), pooled.Param(w2), pooled.Param(b2)}
+		ploss := mlpForward(pooled, pv[0], pv[1], pv[2], pv[3], x)
+		pooled.Backward(ploss)
+
+		fresh := NewTape()
+		fv := [4]*Var{fresh.Param(w1), fresh.Param(b1), fresh.Param(w2), fresh.Param(b2)}
+		floss := mlpForward(fresh, fv[0], fv[1], fv[2], fv[3], x)
+		fresh.Backward(floss)
+
+		if ploss.Value.Data[0] != floss.Value.Data[0] {
+			t.Fatalf("pass %d: pooled loss %v != fresh loss %v", pass, ploss.Value.Data[0], floss.Value.Data[0])
+		}
+		for i := range pv {
+			for j := range pv[i].Grad.Data {
+				if pv[i].Grad.Data[j] != fv[i].Grad.Data[j] {
+					t.Fatalf("pass %d: param %d grad[%d] pooled %v != fresh %v",
+						pass, i, j, pv[i].Grad.Data[j], fv[i].Grad.Data[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferenceTapeMatchesTrainingTape pins that the no-grad tape computes
+// bit-identical forward values while recording no nodes.
+func TestInferenceTapeMatchesTrainingTape(t *testing.T) {
+	w1, b1, w2, b2, x := arenaFixture(5)
+
+	train := NewTape()
+	trainLoss := mlpForward(train, train.Param(w1), train.Param(b1), train.Param(w2), train.Param(b2), x)
+
+	inf := NewInferenceTape()
+	infLoss := mlpForward(inf, inf.Param(w1), inf.Param(b1), inf.Param(w2), inf.Param(b2), x)
+
+	if trainLoss.Value.Data[0] != infLoss.Value.Data[0] {
+		t.Fatalf("inference value %v != training value %v", infLoss.Value.Data[0], trainLoss.Value.Data[0])
+	}
+	if train.Len() == 0 {
+		t.Fatal("training tape should record nodes")
+	}
+	if inf.Len() != 0 {
+		t.Fatalf("inference tape recorded %d nodes, want 0", inf.Len())
+	}
+}
+
+// TestWarmTapeAllocatesNoMatrices is the arena's core guarantee: after one
+// warm-up pass, repeating the same graph through Reset performs zero
+// matrix allocations — every value and gradient comes from the free list.
+func TestWarmTapeAllocatesNoMatrices(t *testing.T) {
+	w1, b1, w2, b2, x := arenaFixture(9)
+	tp := NewTape()
+	// Params are persistent leaves, created once and reused across passes
+	// (as nn.Param does in the real model); their gradients accumulate in
+	// place, so the steady state has no leaf allocations either.
+	pv := [4]*Var{tp.Param(w1), tp.Param(b1), tp.Param(w2), tp.Param(b2)}
+	run := func() {
+		tp.Reset()
+		loss := mlpForward(tp, pv[0], pv[1], pv[2], pv[3], x)
+		tp.Backward(loss)
+	}
+	run() // warm-up: populates the arena and the leaf gradients
+
+	before := tensor.Allocs()
+	for i := 0; i < 10; i++ {
+		run()
+	}
+	if got := tensor.Allocs() - before; got != 0 {
+		t.Fatalf("10 warm passes allocated %d matrices, want 0", got)
+	}
+}
+
+// TestFusedAddRowApplyMatchesUnfused checks the fused bias+activation op
+// against the unfused AddRow→activation pair: identical values and
+// identical gradients, bit for bit, for every fused activation.
+func TestFusedAddRowApplyMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := tensor.Randn(4, 6, 1, rng)
+	r := tensor.Randn(1, 6, 1, rng)
+
+	unfusedOf := func(tp *Tape, z, b *Var, f ActFn) *Var {
+		s := tp.AddRow(z, b)
+		switch f {
+		case ActIdentity:
+			return s
+		case ActSigmoid:
+			return tp.Sigmoid(s)
+		case ActTanh:
+			return tp.Tanh(s)
+		case ActReLU:
+			return tp.ReLU(s)
+		}
+		t.Fatalf("unknown ActFn %v", f)
+		return nil
+	}
+
+	for _, f := range []ActFn{ActIdentity, ActSigmoid, ActTanh, ActReLU} {
+		ft := NewTape()
+		fm, fr := ft.Param(m), ft.Param(r)
+		fused := ft.AddRowApply(fm, fr, f)
+		ft.Backward(ft.MeanAll(ft.Mul(fused, fused)))
+
+		ut := NewTape()
+		um, ur := ut.Param(m), ut.Param(r)
+		unfused := unfusedOf(ut, um, ur, f)
+		ut.Backward(ut.MeanAll(ut.Mul(unfused, unfused)))
+
+		for i := range fused.Value.Data {
+			if fused.Value.Data[i] != unfused.Value.Data[i] {
+				t.Fatalf("ActFn %v: fused value[%d] %v != unfused %v", f, i, fused.Value.Data[i], unfused.Value.Data[i])
+			}
+		}
+		for i := range fm.Grad.Data {
+			if fm.Grad.Data[i] != um.Grad.Data[i] {
+				t.Fatalf("ActFn %v: fused m-grad[%d] %v != unfused %v", f, i, fm.Grad.Data[i], um.Grad.Data[i])
+			}
+		}
+		for i := range fr.Grad.Data {
+			if fr.Grad.Data[i] != ur.Grad.Data[i] {
+				t.Fatalf("ActFn %v: fused bias-grad[%d] %v != unfused %v", f, i, fr.Grad.Data[i], ur.Grad.Data[i])
+			}
+		}
+	}
+}
+
+// TestGradAddRowApply verifies the fused op against numeric gradients,
+// independent of the unfused implementation.
+func TestGradAddRowApply(t *testing.T) {
+	for _, f := range []ActFn{ActIdentity, ActSigmoid, ActTanh} {
+		ps := randParams(31, [2]int{3, 4}, [2]int{1, 4})
+		checkGrad(t, ps, func(tp *Tape, vs []*Var) *Var {
+			return tp.MeanAll(tp.AddRowApply(vs[0], vs[1], f))
+		})
+	}
+	// ReLU is omitted: central differences straddle the kink at 0.
+}
+
+// TestNewMatrixRecycledAcrossReset pins the loan channel: tape-provided
+// scratch matrices return to the arena on Reset and are handed out again.
+func TestNewMatrixRecycledAcrossReset(t *testing.T) {
+	tp := NewTape()
+	m1 := tp.NewMatrix(3, 4)
+	m1.Fill(42)
+	tp.Reset()
+	m2 := tp.NewMatrix(3, 4)
+	if m2 != m1 {
+		t.Fatal("NewMatrix after Reset should reuse the loaned matrix")
+	}
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("recycled loan must come back zeroed, got %v", v)
+		}
+	}
+}
+
+// TestConstValueNotRecycled pins that Const never pools a caller-owned
+// matrix: recycling it would let a later op silently overwrite caller
+// state.
+func TestConstValueNotRecycled(t *testing.T) {
+	tp := NewTape()
+	own := tensor.FromSlice(1, 2, []float64{1, 2})
+	tp.Const(own)
+	tp.Reset()
+	got := tp.get(1, 2)
+	if got == own {
+		t.Fatal("Reset must not recycle a Const's caller-owned value")
+	}
+	if own.Data[0] != 1 || own.Data[1] != 2 {
+		t.Fatalf("caller-owned matrix mutated: %v", own.Data)
+	}
+}

@@ -7,6 +7,23 @@
 // All neural-network layers in internal/nn are built from the primitives
 // here, so a single numerically-checked gradient core backs the entire deep
 // cost model.
+//
+// # Arena
+//
+// Every matrix an operation produces — output values, gradient
+// accumulators, and backward scratch — is drawn from a per-tape free list
+// keyed by shape, and Reset recycles all of it. A tape that is reused
+// across forward passes of the same model (the pattern in Fit's epoch loop
+// and the Predict worker pool) therefore reaches zero steady-state matrix
+// allocations once its free lists are warm. Pooling never changes results:
+// a recycled matrix is either fully overwritten or explicitly zeroed before
+// use, and the order of floating-point operations is untouched.
+//
+// Leaves are exempt: Param wraps caller-owned weights whose gradients must
+// accumulate across Backward calls until the optimizer clears them, so leaf
+// values and gradients are never pooled. Const wraps caller-owned inputs,
+// so its value is not pooled either (use NewMatrix for a pooled input
+// buffer).
 package autodiff
 
 import (
@@ -18,65 +35,185 @@ import (
 
 // Var is a node in the computation graph: a matrix value plus (once
 // Backward has run) the gradient of the loss with respect to it.
+//
+// Vars created by tape operations live in the tape's arena: the Var itself,
+// its Value, and its Grad are all reclaimed by Tape.Reset, so they must not
+// be used after the tape is reset. Vars returned by Param are independent
+// of any tape and live as long as the caller keeps them.
 type Var struct {
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix
 
 	needsGrad bool
 	backward  func()
+	t         *Tape // owning tape; nil for leaves (Param), whose grads persist
+	poolVal   bool  // Value came from the arena and is recycled on Reset
 }
 
 // NeedsGrad reports whether gradients are tracked for this variable.
 func (v *Var) NeedsGrad() bool { return v.needsGrad }
 
-// grad returns the gradient accumulator, allocating it on first use.
+// grad returns the gradient accumulator, allocating it on first use. Leaf
+// gradients are plain allocations that survive Reset (they accumulate until
+// the optimizer zeroes them); tape-owned gradients come from the arena.
 func (v *Var) grad() *tensor.Matrix {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Value.Rows, v.Value.Cols)
+		if v.t != nil {
+			v.Grad = v.t.zeroed(v.Value.Rows, v.Value.Cols)
+		} else {
+			v.Grad = tensor.New(v.Value.Rows, v.Value.Cols)
+		}
 	}
 	return v.Grad
 }
+
+// slabBlock is the number of Vars per arena block. Blocks are never
+// reallocated, so pointers into them stay valid across appends.
+const slabBlock = 512
 
 // Tape records operations for reverse-mode differentiation. The zero value
 // is ready to use. A Tape is not safe for concurrent use; run one tape per
 // goroutine.
 type Tape struct {
-	nodes []*Var
+	nodes []*Var // grad-tracked ops, in recording order (the backward walk)
+
+	blocks [][]Var // Var arena: fixed-size blocks with stable addresses
+	nVars  int     // Vars in use across blocks
+
+	free map[int64][]*tensor.Matrix // recycled matrices keyed by shape
+	lent []*tensor.Matrix           // NewMatrix loans, reclaimed on Reset
+
+	noGrad bool // inference mode: skip closures and node recording
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-// Reset drops all recorded operations so the tape can be reused.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// NewInferenceTape returns a tape that evaluates operations forward-only:
+// no nodes are recorded, no backward closures are built, and Backward does
+// nothing. Values are bit-identical to a recording tape's; only the
+// gradient bookkeeping is skipped, which removes it from the serving hot
+// path entirely.
+func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
+
+// Reset drops all recorded operations and recycles every arena-owned
+// matrix (op outputs, gradients, and NewMatrix loans) into the free lists,
+// so the tape can rebuild an equally-shaped graph without allocating.
+// Leaf (Param) values and gradients are untouched.
+func (t *Tape) Reset() {
+	for i := 0; i < t.nVars; i++ {
+		v := &t.blocks[i/slabBlock][i%slabBlock]
+		if v.poolVal {
+			t.put(v.Value)
+		}
+		if v.Grad != nil {
+			t.put(v.Grad)
+		}
+		v.Value, v.Grad, v.backward = nil, nil, nil
+	}
+	t.nVars = 0
+	for i := range t.nodes {
+		t.nodes[i] = nil
+	}
+	t.nodes = t.nodes[:0]
+	for i, m := range t.lent {
+		t.put(m)
+		t.lent[i] = nil
+	}
+	t.lent = t.lent[:0]
+}
 
 // Len returns the number of recorded nodes (useful in tests).
 func (t *Tape) Len() int { return len(t.nodes) }
 
+// NewMatrix returns a zeroed rows×cols matrix on loan from the tape's
+// arena; it is valid until the next Reset, which reclaims it. Use it for
+// per-pass input buffers (wrap with Const) so a reused tape allocates
+// nothing steady-state.
+func (t *Tape) NewMatrix(rows, cols int) *tensor.Matrix {
+	m := t.zeroed(rows, cols)
+	t.lent = append(t.lent, m)
+	return m
+}
+
+func shapeKey(rows, cols int) int64 { return int64(rows)<<32 | int64(cols) }
+
+// get returns an arena matrix with unspecified contents; the caller must
+// fully overwrite it.
+func (t *Tape) get(rows, cols int) *tensor.Matrix {
+	k := shapeKey(rows, cols)
+	if s := t.free[k]; len(s) > 0 {
+		m := s[len(s)-1]
+		s[len(s)-1] = nil
+		t.free[k] = s[:len(s)-1]
+		return m
+	}
+	return tensor.New(rows, cols)
+}
+
+// zeroed returns an arena matrix with every element zero.
+func (t *Tape) zeroed(rows, cols int) *tensor.Matrix {
+	k := shapeKey(rows, cols)
+	if s := t.free[k]; len(s) > 0 {
+		m := s[len(s)-1]
+		s[len(s)-1] = nil
+		t.free[k] = s[:len(s)-1]
+		m.Zero()
+		return m
+	}
+	return tensor.New(rows, cols)
+}
+
+// put returns a matrix to the free list. Only arena-owned matrices may be
+// put, and each exactly once per cycle (Reset walks values, gradients, and
+// loans through disjoint channels, so no matrix is freed twice).
+func (t *Tape) put(m *tensor.Matrix) {
+	if t.free == nil {
+		t.free = make(map[int64][]*tensor.Matrix)
+	}
+	k := shapeKey(m.Rows, m.Cols)
+	t.free[k] = append(t.free[k], m)
+}
+
+// newVar carves the next Var out of the slab. Blocks have fixed size and
+// are never copied, so the returned pointer is stable.
+func (t *Tape) newVar(val *tensor.Matrix, pooled bool) *Var {
+	bi, off := t.nVars/slabBlock, t.nVars%slabBlock
+	if bi == len(t.blocks) {
+		t.blocks = append(t.blocks, make([]Var, slabBlock))
+	}
+	t.nVars++
+	v := &t.blocks[bi][off]
+	*v = Var{Value: val, t: t, poolVal: pooled}
+	return v
+}
+
 // Param registers m as a trainable leaf: its gradient is accumulated into
-// m's Var across Backward calls until ZeroGrad.
+// m's Var across Backward calls until ZeroGrad. Param Vars are independent
+// of the tape — they and their gradients survive Reset.
 func (t *Tape) Param(m *tensor.Matrix) *Var {
-	v := &Var{Value: m, needsGrad: true}
-	return v
+	return &Var{Value: m, needsGrad: true}
 }
 
-// Const wraps m as a constant input: no gradient is tracked.
+// Const wraps m as a constant input: no gradient is tracked and m itself is
+// never recycled (the Var holding it is).
 func (t *Tape) Const(m *tensor.Matrix) *Var {
-	return &Var{Value: m}
+	return t.newVar(m, false)
 }
 
-func (t *Tape) record(v *Var, inputs ...*Var) *Var {
-	for _, in := range inputs {
-		if in.needsGrad {
-			v.needsGrad = true
-			break
-		}
-	}
-	if !v.needsGrad {
-		v.backward = nil
-	}
-	t.nodes = append(t.nodes, v)
-	return v
+// track reports whether an op over the given inputs must record a backward
+// closure. Split by arity so the hot path never allocates a variadic slice.
+func (t *Tape) track1(a *Var) bool { return !t.noGrad && a.needsGrad }
+func (t *Tape) track2(a, b *Var) bool {
+	return !t.noGrad && (a.needsGrad || b.needsGrad)
+}
+
+// recordOp marks out as grad-tracked with the given backward closure.
+func (t *Tape) recordOp(out *Var, backward func()) *Var {
+	out.needsGrad = true
+	out.backward = backward
+	t.nodes = append(t.nodes, out)
+	return out
 }
 
 // Backward seeds root's gradient with 1 (root must be 1×1) and propagates
@@ -96,75 +233,110 @@ func (t *Tape) Backward(root *Var) {
 
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Var) *Var {
-	out := &Var{Value: tensor.MatMul(a.Value, b.Value)}
-	out.backward = func() {
+	val := t.get(a.Value.Rows, b.Value.Cols)
+	tensor.MatMulInto(val, a.Value, b.Value)
+	out := t.newVar(val, true)
+	if !t.track2(a, b) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		if a.needsGrad {
-			tensor.AddInPlace(a.grad(), tensor.MatMulTransB(out.Grad, b.Value))
+			tmp := t.get(out.Grad.Rows, b.Value.Rows)
+			tensor.MatMulTransBInto(tmp, out.Grad, b.Value)
+			tensor.AddInPlace(a.grad(), tmp)
+			t.put(tmp)
 		}
 		if b.needsGrad {
-			tensor.AddInPlace(b.grad(), tensor.MatMulTransA(a.Value, out.Grad))
+			tmp := t.get(a.Value.Cols, out.Grad.Cols)
+			tensor.MatMulTransAInto(tmp, a.Value, out.Grad)
+			tensor.AddInPlace(b.grad(), tmp)
+			t.put(tmp)
 		}
-	}
-	return t.record(out, a, b)
+	})
 }
 
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Var) *Var {
-	out := &Var{Value: tensor.Add(a.Value, b.Value)}
-	out.backward = func() {
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.AddInto(val, a.Value, b.Value)
+	out := t.newVar(val, true)
+	if !t.track2(a, b) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		if a.needsGrad {
 			tensor.AddInPlace(a.grad(), out.Grad)
 		}
 		if b.needsGrad {
 			tensor.AddInPlace(b.grad(), out.Grad)
 		}
-	}
-	return t.record(out, a, b)
+	})
 }
 
 // Sub returns a−b (same shape).
 func (t *Tape) Sub(a, b *Var) *Var {
-	out := &Var{Value: tensor.Sub(a.Value, b.Value)}
-	out.backward = func() {
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.SubInto(val, a.Value, b.Value)
+	out := t.newVar(val, true)
+	if !t.track2(a, b) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		if a.needsGrad {
 			tensor.AddInPlace(a.grad(), out.Grad)
 		}
 		if b.needsGrad {
 			tensor.AxpyInPlace(b.grad(), -1, out.Grad)
 		}
-	}
-	return t.record(out, a, b)
+	})
 }
 
 // Mul returns the elementwise product a∘b.
 func (t *Tape) Mul(a, b *Var) *Var {
-	out := &Var{Value: tensor.Mul(a.Value, b.Value)}
-	out.backward = func() {
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.MulInto(val, a.Value, b.Value)
+	out := t.newVar(val, true)
+	if !t.track2(a, b) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		if a.needsGrad {
-			tensor.AddInPlace(a.grad(), tensor.Mul(out.Grad, b.Value))
+			tmp := t.get(out.Grad.Rows, out.Grad.Cols)
+			tensor.MulInto(tmp, out.Grad, b.Value)
+			tensor.AddInPlace(a.grad(), tmp)
+			t.put(tmp)
 		}
 		if b.needsGrad {
-			tensor.AddInPlace(b.grad(), tensor.Mul(out.Grad, a.Value))
+			tmp := t.get(out.Grad.Rows, out.Grad.Cols)
+			tensor.MulInto(tmp, out.Grad, a.Value)
+			tensor.AddInPlace(b.grad(), tmp)
+			t.put(tmp)
 		}
-	}
-	return t.record(out, a, b)
+	})
 }
 
 // Scale returns s·a.
 func (t *Tape) Scale(a *Var, s float64) *Var {
-	out := &Var{Value: tensor.Scale(a.Value, s)}
-	out.backward = func() {
-		if a.needsGrad {
-			tensor.AxpyInPlace(a.grad(), s, out.Grad)
-		}
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.ScaleInto(val, a.Value, s)
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
+	return t.recordOp(out, func() {
+		tensor.AxpyInPlace(a.grad(), s, out.Grad)
+	})
 }
 
 // AddRow broadcasts the 1×n row vector r across every row of m.
 func (t *Tape) AddRow(m, r *Var) *Var {
-	out := &Var{Value: tensor.AddRow(m.Value, r.Value)}
-	out.backward = func() {
+	val := t.get(m.Value.Rows, m.Value.Cols)
+	tensor.AddRowInto(val, m.Value, r.Value)
+	out := t.newVar(val, true)
+	if !t.track2(m, r) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		if m.needsGrad {
 			tensor.AddInPlace(m.grad(), out.Grad)
 		}
@@ -177,95 +349,194 @@ func (t *Tape) AddRow(m, r *Var) *Var {
 				}
 			}
 		}
+	})
+}
+
+// ActFn selects the activation fused into AddRowApply. The derivative of
+// every supported activation is computable from its output, so the fused
+// op never stores pre-activation values.
+type ActFn int
+
+// Supported fused activations.
+const (
+	ActIdentity ActFn = iota
+	ActSigmoid
+	ActTanh
+	ActReLU
+)
+
+// fn returns the forward scalar function; nil means identity, which lets
+// the tensor kernel skip the per-element call.
+func (f ActFn) fn() func(float64) float64 {
+	switch f {
+	case ActIdentity:
+		return nil
+	case ActSigmoid:
+		return func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	case ActTanh:
+		return math.Tanh
+	case ActReLU:
+		return func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		}
+	default:
+		panic(fmt.Sprintf("autodiff: unknown ActFn(%d)", int(f)))
 	}
-	return t.record(out, m, r)
+}
+
+// AddRowApply broadcasts the 1×n bias row r across every row of m and
+// applies activation f, fusing what is otherwise an AddRow op plus an
+// activation op into a single kernel pass — the shape of every dense layer
+// and LSTM gate. It is exactly equivalent, bit for bit in both values and
+// gradients, to applying the activation to AddRow(m, r).
+func (t *Tape) AddRowApply(m, r *Var, f ActFn) *Var {
+	val := t.get(m.Value.Rows, m.Value.Cols)
+	tensor.AddRowApplyInto(val, m.Value, r.Value, f.fn())
+	out := t.newVar(val, true)
+	if !t.track2(m, r) {
+		return out
+	}
+	return t.recordOp(out, func() {
+		// d = dL/d(pre-activation), derived from the output value with the
+		// same association the unfused activation backward uses; it then
+		// flows to m elementwise and to r as column sums, in the same
+		// ascending-row order as AddRow's backward.
+		var mg, rg *tensor.Matrix
+		if m.needsGrad {
+			mg = m.grad()
+		}
+		if r.needsGrad {
+			rg = r.grad()
+		}
+		for i := 0; i < val.Rows; i++ {
+			y := val.Row(i)
+			dy := out.Grad.Row(i)
+			var mrow []float64
+			if mg != nil {
+				mrow = mg.Row(i)
+			}
+			for j := range y {
+				var d float64
+				switch f {
+				case ActIdentity:
+					d = dy[j]
+				case ActSigmoid:
+					d = dy[j] * y[j] * (1 - y[j])
+				case ActTanh:
+					d = dy[j] * (1 - y[j]*y[j])
+				case ActReLU:
+					if y[j] > 0 {
+						d = dy[j]
+					}
+				}
+				if mrow != nil {
+					mrow[j] += d
+				}
+				if rg != nil {
+					rg.Data[j] += d
+				}
+			}
+		}
+	})
 }
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Var) *Var {
-	val := tensor.Apply(a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	out := &Var{Value: val}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			for i, s := range val.Data {
-				g.Data[i] += out.Grad.Data[i] * s * (1 - s)
-			}
-		}
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(val, a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
+	return t.recordOp(out, func() {
+		g := a.grad()
+		for i, s := range val.Data {
+			g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+		}
+	})
 }
 
 // Tanh applies the hyperbolic tangent elementwise.
 func (t *Tape) Tanh(a *Var) *Var {
-	val := tensor.Apply(a.Value, math.Tanh)
-	out := &Var{Value: val}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			for i, y := range val.Data {
-				g.Data[i] += out.Grad.Data[i] * (1 - y*y)
-			}
-		}
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(val, a.Value, math.Tanh)
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
+	return t.recordOp(out, func() {
+		g := a.grad()
+		for i, y := range val.Data {
+			g.Data[i] += out.Grad.Data[i] * (1 - y*y)
+		}
+	})
 }
 
 // ReLU applies max(0,x) elementwise.
 func (t *Tape) ReLU(a *Var) *Var {
-	val := tensor.Apply(a.Value, func(x float64) float64 {
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(val, a.Value, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return 0
 	})
-	out := &Var{Value: val}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			for i, x := range a.Value.Data {
-				if x > 0 {
-					g.Data[i] += out.Grad.Data[i]
-				}
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
+	}
+	return t.recordOp(out, func() {
+		g := a.grad()
+		for i, x := range a.Value.Data {
+			if x > 0 {
+				g.Data[i] += out.Grad.Data[i]
 			}
 		}
-	}
-	return t.record(out, a)
+	})
 }
 
 // LeakyReLU applies max(alpha·x, x) elementwise.
 func (t *Tape) LeakyReLU(a *Var, alpha float64) *Var {
-	val := tensor.Apply(a.Value, func(x float64) float64 {
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	tensor.ApplyInto(val, a.Value, func(x float64) float64 {
 		if x > 0 {
 			return x
 		}
 		return alpha * x
 	})
-	out := &Var{Value: val}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			for i, x := range a.Value.Data {
-				if x > 0 {
-					g.Data[i] += out.Grad.Data[i]
-				} else {
-					g.Data[i] += alpha * out.Grad.Data[i]
-				}
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
+	}
+	return t.recordOp(out, func() {
+		g := a.grad()
+		for i, x := range a.Value.Data {
+			if x > 0 {
+				g.Data[i] += out.Grad.Data[i]
+			} else {
+				g.Data[i] += alpha * out.Grad.Data[i]
 			}
 		}
-	}
-	return t.record(out, a)
+	})
 }
 
 // Transpose returns aᵀ.
 func (t *Tape) Transpose(a *Var) *Var {
-	out := &Var{Value: a.Value.Transpose()}
-	out.backward = func() {
-		if a.needsGrad {
-			tensor.AddInPlace(a.grad(), out.Grad.Transpose())
-		}
+	val := t.get(a.Value.Cols, a.Value.Rows)
+	tensor.TransposeInto(val, a.Value)
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
+	return t.recordOp(out, func() {
+		tmp := t.get(out.Grad.Cols, out.Grad.Rows)
+		tensor.TransposeInto(tmp, out.Grad)
+		tensor.AddInPlace(a.grad(), tmp)
+		t.put(tmp)
+	})
 }
 
 // SoftmaxRows applies a row-wise softmax. mask may be nil; otherwise it must
@@ -276,7 +547,7 @@ func (t *Tape) SoftmaxRows(a *Var, mask []bool) *Var {
 	if mask != nil && len(mask) != a.Value.Cols {
 		panic(fmt.Sprintf("autodiff: softmax mask length %d != cols %d", len(mask), a.Value.Cols))
 	}
-	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	val := t.get(a.Value.Rows, a.Value.Cols)
 	for i := 0; i < a.Value.Rows; i++ {
 		in := a.Value.Row(i)
 		outRow := val.Row(i)
@@ -287,7 +558,10 @@ func (t *Tape) SoftmaxRows(a *Var, mask []bool) *Var {
 			}
 		}
 		if math.IsInf(maxv, -1) {
-			continue // fully masked row stays zero
+			for j := range outRow {
+				outRow[j] = 0 // fully masked row
+			}
+			continue
 		}
 		var sum float64
 		for j, x := range in {
@@ -295,17 +569,19 @@ func (t *Tape) SoftmaxRows(a *Var, mask []bool) *Var {
 				e := math.Exp(x - maxv)
 				outRow[j] = e
 				sum += e
+			} else {
+				outRow[j] = 0
 			}
 		}
 		for j := range outRow {
 			outRow[j] /= sum
 		}
 	}
-	out := &Var{Value: val}
-	out.backward = func() {
-		if !a.needsGrad {
-			return
-		}
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
 			y := val.Row(i)
@@ -319,18 +595,108 @@ func (t *Tape) SoftmaxRows(a *Var, mask []bool) *Var {
 				grow[j] += y[j] * (dy[j] - dot)
 			}
 		}
+	})
+}
+
+// SoftmaxRowsMask2D applies a row-wise softmax with an independent column
+// mask per row: entry (i,j) receives zero probability when mask[i][j] is
+// false. Rows whose mask is entirely false become all-zero rows. This is
+// the primitive behind node-aware attention, where node i attends only
+// over its own children.
+func (t *Tape) SoftmaxRowsMask2D(a *Var, mask [][]bool) *Var {
+	if len(mask) != a.Value.Rows {
+		panic(fmt.Sprintf("autodiff: 2D softmax mask rows %d != %d", len(mask), a.Value.Rows))
 	}
-	return t.record(out, a)
+	val := t.get(a.Value.Rows, a.Value.Cols)
+	for i := 0; i < a.Value.Rows; i++ {
+		if len(mask[i]) != a.Value.Cols {
+			panic(fmt.Sprintf("autodiff: 2D softmax mask row %d has %d cols, want %d", i, len(mask[i]), a.Value.Cols))
+		}
+		in := a.Value.Row(i)
+		outRow := val.Row(i)
+		maxv := math.Inf(-1)
+		for j, x := range in {
+			if mask[i][j] && x > maxv {
+				maxv = x
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			for j := range outRow {
+				outRow[j] = 0
+			}
+			continue
+		}
+		var sum float64
+		for j, x := range in {
+			if mask[i][j] {
+				e := math.Exp(x - maxv)
+				outRow[j] = e
+				sum += e
+			} else {
+				outRow[j] = 0
+			}
+		}
+		for j := range outRow {
+			outRow[j] /= sum
+		}
+	}
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
+	}
+	return t.recordOp(out, func() {
+		g := a.grad()
+		for i := 0; i < val.Rows; i++ {
+			y := val.Row(i)
+			dy := out.Grad.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * dy[j]
+			}
+			grow := g.Row(i)
+			for j := range y {
+				grow[j] += y[j] * (dy[j] - dot)
+			}
+		}
+	})
 }
 
 // ConcatCols concatenates variables horizontally.
 func (t *Tape) ConcatCols(vs ...*Var) *Var {
-	mats := make([]*tensor.Matrix, len(vs))
-	for i, v := range vs {
-		mats[i] = v.Value
+	rows, cols := 0, 0
+	if len(vs) > 0 {
+		rows = vs[0].Value.Rows
+		for _, v := range vs {
+			if v.Value.Rows != rows {
+				panic(fmt.Sprintf("tensor: concatCols row mismatch %d != %d", v.Value.Rows, rows))
+			}
+			cols += v.Value.Cols
+		}
 	}
-	out := &Var{Value: tensor.ConcatCols(mats...)}
-	out.backward = func() {
+	val := t.get(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := 0
+		orow := val.Row(i)
+		for _, v := range vs {
+			w := v.Value.Cols
+			copy(orow[off:off+w], v.Value.Row(i))
+			off += w
+		}
+	}
+	out := t.newVar(val, true)
+	tracked := false
+	if !t.noGrad {
+		for _, v := range vs {
+			if v.needsGrad {
+				tracked = true
+				break
+			}
+		}
+	}
+	if !tracked {
+		return out
+	}
+	return t.recordOp(out, func() {
 		off := 0
 		for _, v := range vs {
 			w := v.Value.Cols
@@ -346,18 +712,41 @@ func (t *Tape) ConcatCols(vs ...*Var) *Var {
 			}
 			off += w
 		}
-	}
-	return t.record(out, vs...)
+	})
 }
 
 // ConcatRows concatenates variables vertically.
 func (t *Tape) ConcatRows(vs ...*Var) *Var {
-	mats := make([]*tensor.Matrix, len(vs))
-	for i, v := range vs {
-		mats[i] = v.Value
+	rows, cols := 0, 0
+	if len(vs) > 0 {
+		cols = vs[0].Value.Cols
+		for _, v := range vs {
+			if v.Value.Cols != cols {
+				panic(fmt.Sprintf("tensor: concatRows col mismatch %d != %d", v.Value.Cols, cols))
+			}
+			rows += v.Value.Rows
+		}
 	}
-	out := &Var{Value: tensor.ConcatRows(mats...)}
-	out.backward = func() {
+	val := t.get(rows, cols)
+	off := 0
+	for _, v := range vs {
+		copy(val.Data[off:off+len(v.Value.Data)], v.Value.Data)
+		off += len(v.Value.Data)
+	}
+	out := t.newVar(val, true)
+	tracked := false
+	if !t.noGrad {
+		for _, v := range vs {
+			if v.needsGrad {
+				tracked = true
+				break
+			}
+		}
+	}
+	if !tracked {
+		return out
+	}
+	return t.recordOp(out, func() {
 		off := 0
 		for _, v := range vs {
 			n := v.Value.Rows * v.Value.Cols
@@ -370,8 +759,7 @@ func (t *Tape) ConcatRows(vs ...*Var) *Var {
 			}
 			off += n
 		}
-	}
-	return t.record(out, vs...)
+	})
 }
 
 // RowAt extracts row i of a as a 1×cols variable.
@@ -379,75 +767,18 @@ func (t *Tape) RowAt(a *Var, i int) *Var {
 	if i < 0 || i >= a.Value.Rows {
 		panic(fmt.Sprintf("autodiff: RowAt(%d) out of %d rows", i, a.Value.Rows))
 	}
-	out := &Var{Value: tensor.RowVector(a.Value.Row(i))}
-	out.backward = func() {
-		if a.needsGrad {
-			dst := a.grad().Row(i)
-			for j, x := range out.Grad.Data {
-				dst[j] += x
-			}
-		}
+	val := t.get(1, a.Value.Cols)
+	copy(val.Data, a.Value.Row(i))
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
-}
-
-// SoftmaxRowsMask2D applies a row-wise softmax with an independent column
-// mask per row: entry (i,j) receives zero probability when mask[i][j] is
-// false. Rows whose mask is entirely false become all-zero rows. This is
-// the primitive behind node-aware attention, where node i attends only
-// over its own children.
-func (t *Tape) SoftmaxRowsMask2D(a *Var, mask [][]bool) *Var {
-	if len(mask) != a.Value.Rows {
-		panic(fmt.Sprintf("autodiff: 2D softmax mask rows %d != %d", len(mask), a.Value.Rows))
-	}
-	val := tensor.New(a.Value.Rows, a.Value.Cols)
-	for i := 0; i < a.Value.Rows; i++ {
-		if len(mask[i]) != a.Value.Cols {
-			panic(fmt.Sprintf("autodiff: 2D softmax mask row %d has %d cols, want %d", i, len(mask[i]), a.Value.Cols))
+	return t.recordOp(out, func() {
+		dst := a.grad().Row(i)
+		for j, x := range out.Grad.Data {
+			dst[j] += x
 		}
-		in := a.Value.Row(i)
-		outRow := val.Row(i)
-		maxv := math.Inf(-1)
-		for j, x := range in {
-			if mask[i][j] && x > maxv {
-				maxv = x
-			}
-		}
-		if math.IsInf(maxv, -1) {
-			continue
-		}
-		var sum float64
-		for j, x := range in {
-			if mask[i][j] {
-				e := math.Exp(x - maxv)
-				outRow[j] = e
-				sum += e
-			}
-		}
-		for j := range outRow {
-			outRow[j] /= sum
-		}
-	}
-	out := &Var{Value: val}
-	out.backward = func() {
-		if !a.needsGrad {
-			return
-		}
-		g := a.grad()
-		for i := 0; i < val.Rows; i++ {
-			y := val.Row(i)
-			dy := out.Grad.Row(i)
-			var dot float64
-			for j := range y {
-				dot += y[j] * dy[j]
-			}
-			grow := g.Row(i)
-			for j := range y {
-				grow[j] += y[j] * (dy[j] - dot)
-			}
-		}
-	}
-	return t.record(out, a)
+	})
 }
 
 // SliceCols extracts columns [lo,hi) of a as a copy.
@@ -456,15 +787,15 @@ func (t *Tape) SliceCols(a *Var, lo, hi int) *Var {
 		panic(fmt.Sprintf("autodiff: SliceCols [%d,%d) out of %d cols", lo, hi, a.Value.Cols))
 	}
 	w := hi - lo
-	val := tensor.New(a.Value.Rows, w)
+	val := t.get(a.Value.Rows, w)
 	for i := 0; i < a.Value.Rows; i++ {
 		copy(val.Row(i), a.Value.Row(i)[lo:hi])
 	}
-	out := &Var{Value: val}
-	out.backward = func() {
-		if !a.needsGrad {
-			return
-		}
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
+	}
+	return t.recordOp(out, func() {
 		g := a.grad()
 		for i := 0; i < val.Rows; i++ {
 			dst := g.Row(i)[lo:hi]
@@ -473,8 +804,7 @@ func (t *Tape) SliceCols(a *Var, lo, hi int) *Var {
 				dst[j] += x
 			}
 		}
-	}
-	return t.record(out, a)
+	})
 }
 
 // MeanRowsMasked averages the rows of a whose mask entry is true, returning
@@ -489,7 +819,7 @@ func (t *Tape) MeanRowsMasked(a *Var, mask []bool) *Var {
 			n++
 		}
 	}
-	val := tensor.New(1, a.Value.Cols)
+	val := t.zeroed(1, a.Value.Cols)
 	if n > 0 {
 		for i, m := range mask {
 			if !m {
@@ -501,11 +831,11 @@ func (t *Tape) MeanRowsMasked(a *Var, mask []bool) *Var {
 			}
 		}
 	}
-	out := &Var{Value: val}
-	out.backward = func() {
-		if !a.needsGrad || n == 0 {
-			return
-		}
+	out := t.newVar(val, true)
+	if !t.track1(a) || n == 0 {
+		return out
+	}
+	return t.recordOp(out, func() {
 		g := a.grad()
 		for i, m := range mask {
 			if !m {
@@ -516,39 +846,42 @@ func (t *Tape) MeanRowsMasked(a *Var, mask []bool) *Var {
 				dst[j] += x / float64(n)
 			}
 		}
-	}
-	return t.record(out, a)
+	})
 }
 
 // SumAll reduces a to a 1×1 variable holding the sum of its elements.
 func (t *Tape) SumAll(a *Var) *Var {
-	out := &Var{Value: tensor.FromSlice(1, 1, []float64{a.Value.Sum()})}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			d := out.Grad.Data[0]
-			for i := range g.Data {
-				g.Data[i] += d
-			}
-		}
+	val := t.get(1, 1)
+	val.Data[0] = a.Value.Sum()
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
+	return t.recordOp(out, func() {
+		g := a.grad()
+		d := out.Grad.Data[0]
+		for i := range g.Data {
+			g.Data[i] += d
+		}
+	})
 }
 
 // MeanAll reduces a to a 1×1 variable holding the mean of its elements.
 func (t *Tape) MeanAll(a *Var) *Var {
 	n := float64(len(a.Value.Data))
-	out := &Var{Value: tensor.FromSlice(1, 1, []float64{a.Value.Mean()})}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			d := out.Grad.Data[0] / n
-			for i := range g.Data {
-				g.Data[i] += d
-			}
-		}
+	val := t.get(1, 1)
+	val.Data[0] = a.Value.Mean()
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
 	}
-	return t.record(out, a)
+	return t.recordOp(out, func() {
+		g := a.grad()
+		d := out.Grad.Data[0] / n
+		for i := range g.Data {
+			g.Data[i] += d
+		}
+	})
 }
 
 // MSE returns the mean squared error between pred and the constant target,
@@ -565,17 +898,19 @@ func (t *Tape) MSE(pred *Var, target *tensor.Matrix) *Var {
 		loss += d * d
 	}
 	loss /= n
-	out := &Var{Value: tensor.FromSlice(1, 1, []float64{loss})}
-	out.backward = func() {
-		if pred.needsGrad {
-			g := pred.grad()
-			d := out.Grad.Data[0]
-			for i, p := range pred.Value.Data {
-				g.Data[i] += d * 2 * (p - target.Data[i]) / n
-			}
-		}
+	val := t.get(1, 1)
+	val.Data[0] = loss
+	out := t.newVar(val, true)
+	if !t.track1(pred) {
+		return out
 	}
-	return t.record(out, pred)
+	return t.recordOp(out, func() {
+		g := pred.grad()
+		d := out.Grad.Data[0]
+		for i, p := range pred.Value.Data {
+			g.Data[i] += d * 2 * (p - target.Data[i]) / n
+		}
+	})
 }
 
 // Dropout zeroes each element with probability p at training time and
@@ -590,22 +925,24 @@ func (t *Tape) Dropout(a *Var, p float64, keep []bool) *Var {
 		panic(fmt.Sprintf("autodiff: dropout mask length %d != %d", len(keep), len(a.Value.Data)))
 	}
 	scale := 1 / (1 - p)
-	val := tensor.New(a.Value.Rows, a.Value.Cols)
+	val := t.get(a.Value.Rows, a.Value.Cols)
 	for i, x := range a.Value.Data {
 		if keep[i] {
 			val.Data[i] = x * scale
+		} else {
+			val.Data[i] = 0
 		}
 	}
-	out := &Var{Value: val}
-	out.backward = func() {
-		if a.needsGrad {
-			g := a.grad()
-			for i := range g.Data {
-				if keep[i] {
-					g.Data[i] += out.Grad.Data[i] * scale
-				}
+	out := t.newVar(val, true)
+	if !t.track1(a) {
+		return out
+	}
+	return t.recordOp(out, func() {
+		g := a.grad()
+		for i := range g.Data {
+			if keep[i] {
+				g.Data[i] += out.Grad.Data[i] * scale
 			}
 		}
-	}
-	return t.record(out, a)
+	})
 }

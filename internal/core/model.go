@@ -18,7 +18,6 @@ import (
 	"raal/internal/nn"
 	"raal/internal/sparksim"
 	"raal/internal/telemetry"
-	"raal/internal/tensor"
 )
 
 // Config sets the model dimensions. SemDim, MaxNodes, and StatsDim must
@@ -67,6 +66,44 @@ type Model struct {
 	wrk    *nn.Param // resource-side node key projection (Hidden×K)
 
 	head *nn.MLP
+
+	// tapes pools warm inference tapes across Predict calls so the
+	// steady-state scoring path allocates no matrices. Never serialized.
+	tapes tapePool
+}
+
+// maxPooledTapes caps how many warm inference tapes a model retains. More
+// concurrent workers than this still run — extras build a cold tape and
+// drop it afterwards.
+const maxPooledTapes = 16
+
+// tapePool is a mutex-guarded stack of inference tapes. An explicit
+// free list (rather than sync.Pool) keeps warm tapes out of the GC's reach,
+// so the zero-steady-state-allocation guarantee holds deterministically.
+type tapePool struct {
+	mu sync.Mutex
+	ts []*autodiff.Tape
+}
+
+func (p *tapePool) get() *autodiff.Tape {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.ts); n > 0 {
+		tp := p.ts[n-1]
+		p.ts[n-1] = nil
+		p.ts = p.ts[:n-1]
+		return tp
+	}
+	return autodiff.NewInferenceTape()
+}
+
+func (p *tapePool) put(tp *autodiff.Tape) {
+	tp.Reset() // recycle the last chunk's matrices before parking the tape
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ts) < maxPooledTapes {
+		p.ts = append(p.ts, tp)
+	}
 }
 
 // NewModel builds a model for the variant with freshly initialized weights.
@@ -170,7 +207,9 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample, sp *telemetry
 		stop := sp.Stage("embed")
 		xs := make([]*autodiff.Var, L)
 		for t := 0; t < L; t++ {
-			xt := tensor.New(bsz, in)
+			// Arena-backed input buffer: nodeInput overwrites every row, so
+			// a recycled matrix needs no clearing beyond what NewMatrix does.
+			xt := tp.NewMatrix(bsz, in)
 			for b, s := range batch {
 				m.nodeInput(s, t, xt.Row(b))
 			}
@@ -190,7 +229,7 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample, sp *telemetry
 	} else {
 		for b, s := range batch {
 			stop := sp.Stage("embed")
-			x := tensor.New(L, in)
+			x := tp.NewMatrix(L, in)
 			for t := 0; t < L; t++ {
 				m.nodeInput(s, t, x.Row(t))
 			}
@@ -228,14 +267,18 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample, sp *telemetry
 
 		parts := []*autodiff.Var{pooled}
 		if m.Var.ResourceAttention {
-			r := tp.Const(tensor.RowVector(s.Resource))
+			rv := tp.NewMatrix(1, len(s.Resource))
+			copy(rv.Data, s.Resource)
+			r := tp.Const(rv)
 			q := tp.MatMul(r, m.wr.Var)                                 // 1×K
 			keys := tp.MatMul(h, m.wrk.Var)                             // L×K
 			scores := tp.Scale(tp.MatMul(q, tp.Transpose(keys)), scale) // 1×L
 			battn := tp.SoftmaxRows(scores, mask)
 			parts = append(parts, tp.MatMul(battn, h)) // 1×Hidden
 		}
-		parts = append(parts, tp.Const(tensor.RowVector(s.Stats)))
+		sv := tp.NewMatrix(1, len(s.Stats))
+		copy(sv.Data, s.Stats)
+		parts = append(parts, tp.Const(sv))
 		feats[b] = tp.ConcatCols(parts...)
 	}
 	stopAttn()
@@ -350,10 +393,14 @@ func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 		workers = nChunks
 	}
 
-	score := func(k int) {
+	// Each worker leases one warm tape for its whole run and resets it
+	// between chunks, so all matrices a chunk's graph needs come from the
+	// tape's arena: the steady-state scoring path performs zero matrix
+	// allocations. Predictions are extracted before the next Reset.
+	score := func(tp *autodiff.Tape, k int) {
 		lo := k * chunk
 		hi := min(lo+chunk, len(samples))
-		tp := autodiff.NewTape()
+		tp.Reset()
 		pred := m.forward(tp, samples[lo:hi], sp)
 		defer sp.Stage("decode")()
 		for i := lo; i < hi; i++ {
@@ -362,11 +409,13 @@ func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 	}
 
 	if workers <= 1 {
+		tp := m.tapes.get()
+		defer m.tapes.put(tp)
 		for k := 0; k < nChunks; k++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			score(k)
+			score(tp, k)
 		}
 		m.instr.observePredict(len(samples), time.Since(start))
 		return out, nil
@@ -378,6 +427,8 @@ func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			tp := m.tapes.get()
+			defer m.tapes.put(tp)
 			for {
 				if ctx.Err() != nil {
 					aborted.Store(true)
@@ -387,7 +438,7 @@ func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 				if k >= nChunks {
 					return
 				}
-				score(k)
+				score(tp, k)
 			}
 		}()
 	}

@@ -10,7 +10,6 @@ import (
 	"raal/internal/encode"
 	"raal/internal/metrics"
 	"raal/internal/nn"
-	"raal/internal/tensor"
 )
 
 // TrainConfig controls optimization.
@@ -81,6 +80,7 @@ func Train(samples []*encode.Sample, v Variant, mc Config, tc TrainConfig) (*Mod
 type shardRun struct {
 	model  *Model
 	params []*nn.Param
+	tape   *autodiff.Tape // reused across batches; its arena keeps the shard's matrices warm
 	n      int
 	loss   float64
 }
@@ -126,9 +126,13 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 		shards = make([]*shardRun, maxShards)
 		for k := range shards {
 			r := m.replica()
-			shards[k] = &shardRun{model: r, params: r.Params()}
+			shards[k] = &shardRun{model: r, params: r.Params(), tape: autodiff.NewTape()}
 		}
 	}
+	// Serial (single-shard) batches reuse one tape for the whole run: after
+	// the first batch its arena holds every matrix the graph needs, so the
+	// steady-state training step allocates none.
+	serialTape := autodiff.NewTape()
 
 	start := time.Now()
 	result := &TrainResult{Samples: len(samples)}
@@ -142,7 +146,7 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 			n := hi - lo
 			var batchLoss float64
 			if maxShards == 1 {
-				batchLoss = trainStep(m, samples, idx[lo:hi])
+				batchLoss = trainStep(m, serialTape, samples, idx[lo:hi])
 				epochShards++
 			} else {
 				batchLoss = m.shardedStep(shards, samples, idx[lo:hi], shardSize, workers)
@@ -169,15 +173,16 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 
 // trainStep runs one forward/backward pass of the selected samples on
 // model, accumulating gradients into its parameters, and returns the mean
-// MSE loss of the pass.
-func trainStep(model *Model, samples []*encode.Sample, sel []int) float64 {
+// MSE loss of the pass. The tape is reset and reused, so a warm caller
+// performs the pass without matrix allocations.
+func trainStep(model *Model, tp *autodiff.Tape, samples []*encode.Sample, sel []int) float64 {
+	tp.Reset()
 	batch := make([]*encode.Sample, len(sel))
-	target := tensor.New(len(sel), 1)
+	target := tp.NewMatrix(len(sel), 1)
 	for i, j := range sel {
 		batch[i] = samples[j]
 		target.Set(i, 0, transform(samples[j].CostSec))
 	}
-	tp := autodiff.NewTape()
 	loss := tp.MSE(model.forward(tp, batch, nil), target)
 	tp.Backward(loss)
 	return loss.Value.Data[0]
@@ -195,7 +200,7 @@ func (m *Model) shardedStep(shards []*shardRun, samples []*encode.Sample, sel []
 		hi := min(lo+shardSize, len(sel))
 		sh := shards[k]
 		sh.n = hi - lo
-		sh.loss = trainStep(sh.model, samples, sel[lo:hi])
+		sh.loss = trainStep(sh.model, sh.tape, samples, sel[lo:hi])
 	}
 	if workers <= 1 || nShards == 1 {
 		for k := 0; k < nShards; k++ {

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"raal/internal/core"
+	"raal/internal/encode"
+	"raal/internal/sparksim"
+	"raal/internal/tensor"
+)
+
+// JSONer is implemented by reports that can export machine-readable data.
+// cmd/raalbench writes these as BENCH_<name>.json; cmd/benchdiff compares
+// two such files and fails on regressions.
+type JSONer interface {
+	JSON(w io.Writer) error
+}
+
+// MicroBench is one measured hot-path operation.
+type MicroBench struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	N        int     `json:"n"` // benchmark iterations behind the averages
+}
+
+// MicroResult is the hot-path microbenchmark report: inference and
+// training throughput on the synthetic corpus, with allocation counts.
+type MicroResult struct {
+	Benchmarks []MicroBench `json:"benchmarks"`
+}
+
+// Print renders the benchmark table.
+func (r *MicroResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %14s %12s %12s %8s\n", "benchmark", "ns/op", "B/op", "allocs/op", "n")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, "%-24s %14.0f %12.0f %12.1f %8d\n", b.Name, b.NsOp, b.BytesOp, b.AllocsOp, b.N)
+	}
+}
+
+// JSON writes the machine-readable form consumed by cmd/benchdiff.
+func (r *MicroResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Synthetic-sample dimensions, mirroring the core package's benchmark
+// fixture so the micro numbers track the tier-1 BenchmarkPredict shape.
+const (
+	microSem   = 4
+	microNodes = 6
+	microStats = 6
+)
+
+// microSample fabricates an encoded plan whose cost depends on both node
+// content and the resource vector (the same construction the core tests
+// benchmark against).
+func microSample(rng *rand.Rand) *encode.Sample {
+	dim := microSem + microNodes + 2
+	s := &encode.Sample{
+		Nodes:    tensor.New(microNodes, dim),
+		Mask:     make([]bool, microNodes),
+		Children: make([][]bool, microNodes),
+		Resource: make([]float64, sparksim.NumFeatures),
+		Stats:    make([]float64, microStats),
+	}
+	n := 3 + rng.Intn(microNodes-2)
+	for i := 0; i < microNodes; i++ {
+		s.Children[i] = make([]bool, microNodes)
+	}
+	var nodeSig float64
+	for i := 0; i < n; i++ {
+		s.Mask[i] = true
+		row := s.Nodes.Row(i)
+		for d := 0; d < microSem; d++ {
+			row[d] = rng.Float64()
+			nodeSig += row[d]
+		}
+		if i > 0 { // chain structure
+			row[microSem+i-1] = 1
+			s.Children[i][i-1] = true
+			s.Nodes.Row(i - 1)[microSem+i] = -1
+		}
+		row[microSem+microNodes] = rng.Float64()
+		row[microSem+microNodes+1] = rng.Float64()
+	}
+	for j := range s.Resource {
+		s.Resource[j] = rng.Float64()
+	}
+	for j := range s.Stats {
+		s.Stats[j] = rng.Float64()
+	}
+	mem := s.Resource[4]
+	s.CostSec = 2 + nodeSig + 12*(mem-0.5)*(mem-0.5) + 0.5*s.Stats[0]
+	return s
+}
+
+func microDataset(n int, seed int64) []*encode.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*encode.Sample, n)
+	for i := range out {
+		out[i] = microSample(rng)
+	}
+	return out
+}
+
+// Micro benchmarks the serving hot path — batch inference at 1 and 4
+// workers, plus one training epoch — on a small RAAL model over synthetic
+// samples. It needs no lab: the point is kernel and allocator throughput,
+// not model quality, and the synthetic corpus keeps a run under a minute.
+func Micro(opt Options) (*MicroResult, error) {
+	samples := microDataset(512, 77)
+	cfg := core.DefaultConfig(microSem, microNodes)
+	cfg.Hidden = 16
+	cfg.K = 8
+	cfg.Seed = opt.Seed
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	tc.Batch = 16
+	tc.LR = 5e-3
+	tc.Seed = opt.Seed
+
+	m, _, err := core.Train(samples[:128], core.RAAL(), cfg, tc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MicroResult{}
+	for _, workers := range []int{1, 4} {
+		po := core.PredictOpts{Workers: workers, ChunkSize: 32}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.PredictWith(samples, po)
+			}
+		})
+		res.Benchmarks = append(res.Benchmarks, toMicroBench(fmt.Sprintf("predict/workers=%d", workers), br))
+	}
+
+	ftc := tc
+	ftc.Batch = 32
+	ftc.ShardSize = 4
+	fm := core.NewModel(core.RAAL(), cfg)
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fm.Fit(samples[:256], ftc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.Benchmarks = append(res.Benchmarks, toMicroBench("fit/workers=1", br))
+	return res, nil
+}
+
+func toMicroBench(name string, r testing.BenchmarkResult) MicroBench {
+	return MicroBench{
+		Name:     name,
+		NsOp:     float64(r.NsPerOp()),
+		AllocsOp: float64(r.AllocsPerOp()),
+		BytesOp:  float64(r.AllocedBytesPerOp()),
+		N:        r.N,
+	}
+}

@@ -61,6 +61,8 @@ func Registry() []Runner {
 			Run: func(o Options) (Report, error) { return Drift(o) }},
 		{Name: "qerror", Description: "extra: cardinality q-error by join depth", NeedsLab: true,
 			RunLab: func(l *Lab) (Report, error) { return QError(l) }},
+		{Name: "micro", Description: "extra: hot-path microbenchmarks (predict/fit ns/op and allocs/op)",
+			Run: func(o Options) (Report, error) { return Micro(o) }},
 	}
 }
 

@@ -43,7 +43,7 @@ func NewConv1D(name string, in, filters, width int, act Activation, rng *rand.Ra
 func (c *Conv1D) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 	l := x.Value.Rows
 	half := c.Width / 2
-	zero := tp.Const(tensor.New(1, c.In))
+	zero := tp.Const(tp.NewMatrix(1, c.In))
 	// im2col: each output position gathers its window into one row.
 	rows := make([]*autodiff.Var, l)
 	for pos := 0; pos < l; pos++ {
@@ -59,7 +59,7 @@ func (c *Conv1D) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
 		rows[pos] = tp.ConcatCols(window...)
 	}
 	cols := tp.ConcatRows(rows...)
-	return applyActivation(tp, tp.AddRow(tp.MatMul(cols, c.W.Var), c.B.Var), c.Act)
+	return biasAct(tp, tp.MatMul(cols, c.W.Var), c.B, c.Act)
 }
 
 // Params returns the layer's trainable parameters.

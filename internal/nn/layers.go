@@ -54,6 +54,32 @@ func applyActivation(tp *autodiff.Tape, x *autodiff.Var, a Activation) *autodiff
 	}
 }
 
+// fusedAct maps an Activation to the autodiff fused bias+activation kernel,
+// when one exists. LeakyReLU is the only activation without a fused form
+// (it carries a slope parameter); layers fall back to the unfused pair.
+func fusedAct(a Activation) (autodiff.ActFn, bool) {
+	switch a {
+	case Linear:
+		return autodiff.ActIdentity, true
+	case ReLU:
+		return autodiff.ActReLU, true
+	case Tanh:
+		return autodiff.ActTanh, true
+	case Sigmoid:
+		return autodiff.ActSigmoid, true
+	}
+	return 0, false
+}
+
+// biasAct computes act(z + b) for a batch×n pre-activation z and 1×n bias,
+// using the fused kernel when the activation supports it.
+func biasAct(tp *autodiff.Tape, z *autodiff.Var, b *Param, act Activation) *autodiff.Var {
+	if f, ok := fusedAct(act); ok {
+		return tp.AddRowApply(z, b.Var, f)
+	}
+	return applyActivation(tp, tp.AddRow(z, b.Var), act)
+}
+
 // Dense is a fully connected layer: act(x·W + b).
 type Dense struct {
 	W, B *Param
@@ -72,7 +98,7 @@ func NewDense(name string, in, out int, act Activation, rng *rand.Rand) *Dense {
 
 // Forward applies the layer to a batch×in input and returns batch×out.
 func (d *Dense) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
-	return applyActivation(tp, tp.AddRow(tp.MatMul(x, d.W.Var), d.B.Var), d.Act)
+	return biasAct(tp, tp.MatMul(x, d.W.Var), d.B, d.Act)
 }
 
 // Params returns the layer's trainable parameters.

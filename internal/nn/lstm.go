@@ -42,21 +42,48 @@ type State struct {
 }
 
 // ZeroState returns an all-zero initial state for the given batch size.
+// The state matrices come from the tape's arena, so reused tapes allocate
+// nothing here.
 func (l *LSTM) ZeroState(tp *autodiff.Tape, batch int) State {
 	return State{
-		H: tp.Const(tensor.New(batch, l.Hidden)),
-		C: tp.Const(tensor.New(batch, l.Hidden)),
+		H: tp.Const(tp.NewMatrix(batch, l.Hidden)),
+		C: tp.Const(tp.NewMatrix(batch, l.Hidden)),
+	}
+}
+
+// gateBias holds the per-gate views of the packed 1×4h bias, sliced once
+// per sequence so every timestep can use the fused bias+activation kernel.
+type gateBias struct {
+	i, f, g, o *autodiff.Var
+}
+
+func (l *LSTM) biasSlices(tp *autodiff.Tape) gateBias {
+	h := l.Hidden
+	return gateBias{
+		i: tp.SliceCols(l.B.Var, 0, h),
+		f: tp.SliceCols(l.B.Var, h, 2*h),
+		g: tp.SliceCols(l.B.Var, 2*h, 3*h),
+		o: tp.SliceCols(l.B.Var, 3*h, 4*h),
 	}
 }
 
 // Step advances the recurrence one timestep with input x (batch×in).
 func (l *LSTM) Step(tp *autodiff.Tape, x *autodiff.Var, s State) State {
-	gates := tp.AddRow(tp.Add(tp.MatMul(x, l.Wx.Var), tp.MatMul(s.H, l.Wh.Var)), l.B.Var)
+	return l.step(tp, x, s, l.biasSlices(tp))
+}
+
+// step is Step with the bias views hoisted out, computing each gate as
+// act(slice(x·Wx + h·Wh) + b_gate) through the fused kernel. Slicing the
+// pre-activation before adding the bias is bit-identical to the former
+// slice-after-AddRow formulation — the same two addends meet in the same
+// single addition — while touching each gate's quarter of the matrix once.
+func (l *LSTM) step(tp *autodiff.Tape, x *autodiff.Var, s State, b gateBias) State {
+	z := tp.Add(tp.MatMul(x, l.Wx.Var), tp.MatMul(s.H, l.Wh.Var))
 	h := l.Hidden
-	i := tp.Sigmoid(tp.SliceCols(gates, 0, h))
-	f := tp.Sigmoid(tp.SliceCols(gates, h, 2*h))
-	g := tp.Tanh(tp.SliceCols(gates, 2*h, 3*h))
-	o := tp.Sigmoid(tp.SliceCols(gates, 3*h, 4*h))
+	i := tp.AddRowApply(tp.SliceCols(z, 0, h), b.i, autodiff.ActSigmoid)
+	f := tp.AddRowApply(tp.SliceCols(z, h, 2*h), b.f, autodiff.ActSigmoid)
+	g := tp.AddRowApply(tp.SliceCols(z, 2*h, 3*h), b.g, autodiff.ActTanh)
+	o := tp.AddRowApply(tp.SliceCols(z, 3*h, 4*h), b.o, autodiff.ActSigmoid)
 	c := tp.Add(tp.Mul(f, s.C), tp.Mul(i, g))
 	return State{H: tp.Mul(o, tp.Tanh(c)), C: c}
 }
@@ -67,10 +94,11 @@ func (l *LSTM) Forward(tp *autodiff.Tape, xs []*autodiff.Var) []*autodiff.Var {
 	if len(xs) == 0 {
 		return nil
 	}
+	b := l.biasSlices(tp)
 	s := l.ZeroState(tp, xs[0].Value.Rows)
 	hs := make([]*autodiff.Var, len(xs))
 	for t, x := range xs {
-		s = l.Step(tp, x, s)
+		s = l.step(tp, x, s, b)
 		hs[t] = s.H
 	}
 	return hs
