@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel benchjson vet fuzz cover check
+.PHONY: build test race bench bench-parallel benchjson bench-serve vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,9 @@ test: build
 # registry, and the numeric stack), plus the public API. internal/core
 # includes TestParallelTrainRaceSmoke, which trains with Workers=4 so
 # shard-parallel backward passes are exercised under the detector;
-# internal/serve includes TestConcurrentRequestsRaceClean;
+# internal/serve includes TestConcurrentRequestsRaceClean and
+# TestBatcherRaceStress (mixed-deadline clients hammering the
+# micro-batch coalescer through a concurrent Close);
 # internal/telemetry includes concurrent writer/scraper tests. Use
 # `make race-all` for the (slow) full sweep.
 race:
@@ -42,6 +44,11 @@ bench-parallel:
 # runs with: go run ./cmd/benchdiff results/BENCH_micro.json new.json
 benchjson:
 	$(GO) run ./cmd/raalbench -exp micro -json -outdir results
+
+# End-to-end serving throughput, micro-batching off vs on per client
+# count (results/BENCH_serve.json).
+bench-serve:
+	$(GO) run ./cmd/raalbench -exp serve -json -outdir results
 
 vet:
 	$(GO) vet ./...

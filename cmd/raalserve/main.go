@@ -8,6 +8,8 @@
 //	raalserve -model model.raal                       # deep model + GPSJ fallback
 //	raalserve                                         # analytical-only serving
 //	raalserve -deadline 200ms -on-deadline fail       # 504 instead of fallback
+//	raalserve -model model.raal \
+//	          -batch-window 2ms -batch-max 16         # micro-batch concurrent requests
 //	raalserve -admin :8081 -pprof                     # admin listener + profiling
 //
 // Endpoints:
@@ -63,6 +65,8 @@ func main() {
 		onDeadline = flag.String("on-deadline", "fallback", "deadline-miss policy: fallback (degrade to GPSJ) or fail (504)")
 		candidates = flag.Int("max-candidates", 3, "candidate plans priced by /select")
 		encCache   = flag.Int("encode-cache", 256, "feature-encoding LRU capacity in plans (0 disables; repeated plans skip re-encoding)")
+		batchWin   = flag.Duration("batch-window", 0, "micro-batching collection window; concurrent requests within it coalesce into one forward pass (0 disables batching)")
+		batchMax   = flag.Int("batch-max", 0, "micro-batch size cap; a full batch flushes before the window expires (<= 1 disables batching; requires -model)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
@@ -126,9 +130,26 @@ func main() {
 		cfg.DeepBatch = func(ctx context.Context, plans []*physical.Plan, res sparksim.Resources) ([]float64, error) {
 			return cm.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
 		}
+		if *batchMax > 1 && *batchWin > 0 {
+			cfg.BatchWindow = *batchWin
+			cfg.BatchMax = *batchMax
+			cfg.DeepEach = func(ctx context.Context, items []serve.BatchItem) ([]float64, error) {
+				plans := make([]*physical.Plan, len(items))
+				res := make([]sparksim.Resources, len(items))
+				for i, it := range items {
+					plans[i] = it.Plan
+					res[i] = it.Res
+				}
+				return cm.EstimateEachCtx(ctx, plans, res, raal.PredictOpts{})
+			}
+		}
 		logger.Info("serving deep model with GPSJ fallback armed",
-			"variant", cm.Variant().Name, "model", *modelPath, "encode_cache", *encCache)
+			"variant", cm.Variant().Name, "model", *modelPath, "encode_cache", *encCache,
+			"batch_window", *batchWin, "batch_max", *batchMax)
 	} else {
+		if *batchMax > 1 && *batchWin > 0 {
+			fatal("-batch-window/-batch-max require -model (the analytical path is not batched)")
+		}
 		logger.Info("no -model given; serving GPSJ analytical estimates only")
 	}
 

@@ -256,6 +256,24 @@ func (cm *CostModel) EstimateBatchCtx(ctx context.Context, plans []*Plan, res Re
 	return cm.model.PredictCtx(ctx, cm.planSamples(plans, res), opt)
 }
 
+// EstimateEachCtx predicts costs for many independent (plan, resources)
+// pairs in one batched forward pass: plans[i] is priced under res[i].
+// This is the backing call for the serving layer's micro-batching
+// coalescer, where concurrent requests carry their own allocations.
+// Predictions are bit-identical to pricing each pair alone with
+// EstimateCtx.
+func (cm *CostModel) EstimateEachCtx(ctx context.Context, plans []*Plan, res []Resources, opt core.PredictOpts) ([]float64, error) {
+	if len(plans) != len(res) {
+		return nil, fmt.Errorf("raal: EstimateEachCtx got %d plan(s) but %d resource allocation(s)", len(plans), len(res))
+	}
+	cm.api.estimates.Inc()
+	samples := make([]*Sample, len(plans))
+	for i, p := range plans {
+		samples[i] = cm.encodePlan(p, res[i])
+	}
+	return cm.model.PredictCtx(ctx, samples, opt)
+}
+
 func (cm *CostModel) planSamples(plans []*Plan, res Resources) []*Sample {
 	samples := make([]*Sample, len(plans))
 	for i, p := range plans {

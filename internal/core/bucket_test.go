@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"raal/internal/encode"
+	"raal/internal/sparksim"
+	"raal/internal/telemetry"
+	"raal/internal/tensor"
+)
+
+// maskedSample fabricates a sample with a random active length (1..tNodes)
+// and, sometimes, interior mask holes — the adversarial shapes for the
+// length-bucketed scheduler, whose bucketing key is the LAST true mask
+// index, not the count of true entries.
+func maskedSample(rng *rand.Rand) *encode.Sample {
+	dim := tSem + tNodes + 2
+	s := &encode.Sample{
+		Nodes:    tensor.New(tNodes, dim),
+		Mask:     make([]bool, tNodes),
+		Children: make([][]bool, tNodes),
+		Resource: make([]float64, sparksim.NumFeatures),
+		Stats:    make([]float64, tStats),
+	}
+	for i := 0; i < tNodes; i++ {
+		s.Children[i] = make([]bool, tNodes)
+	}
+	n := 1 + rng.Intn(tNodes) // active length 1..tNodes
+	for i := 0; i < n; i++ {
+		s.Mask[i] = true
+		row := s.Nodes.Row(i)
+		for d := 0; d < tSem; d++ {
+			row[d] = rng.Float64()
+		}
+		if i > 0 {
+			row[tSem+i-1] = 1
+			s.Children[i][i-1] = true
+			s.Nodes.Row(i - 1)[tSem+i] = -1
+		}
+		row[tSem+tNodes] = rng.Float64()
+		row[tSem+tNodes+1] = rng.Float64()
+	}
+	// Punch an interior hole: the active length (last true index + 1)
+	// must not change, so never unset the last real node.
+	if n > 2 && rng.Intn(3) == 0 {
+		s.Mask[rng.Intn(n-1)] = false
+	}
+	for j := range s.Resource {
+		s.Resource[j] = rng.Float64()
+	}
+	for j := range s.Stats {
+		s.Stats[j] = rng.Float64()
+	}
+	s.CostSec = 1 + rng.Float64()
+	return s
+}
+
+// TestBucketedPredictBitIdentical is the scheduler's core property: for
+// every architecture, grouping samples by active plan length (the
+// default) predicts bit-identically to the unbucketed input-order
+// schedule, across random masks, lengths, chunk sizes, and worker
+// counts. Pooling and attention are mask-invariant, so the regrouping
+// may change which samples share a forward pass but never a single bit
+// of any output.
+func TestBucketedPredictBitIdentical(t *testing.T) {
+	for _, v := range AllVariants() {
+		t.Run(v.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			samples := make([]*encode.Sample, 160)
+			for i := range samples {
+				samples[i] = maskedSample(rng)
+			}
+			tc := quickTrain()
+			tc.Epochs = 1
+			m, _, err := Train(samples[:48], v, testConfig(), tc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := []PredictOpts{
+				{},
+				{Workers: 1, ChunkSize: 1},
+				{Workers: 1, ChunkSize: 7},
+				{Workers: 4, ChunkSize: 16},
+				{Workers: 3, ChunkSize: 64},
+			}
+			for _, opt := range opts {
+				bucketed := m.PredictWith(samples, opt)
+				flat := opt
+				flat.NoBucket = true
+				plain := m.PredictWith(samples, flat)
+				for i := range plain {
+					if bucketed[i] != plain[i] {
+						t.Fatalf("opt %+v sample %d (len %d): bucketed %v != unbucketed %v",
+							opt, i, activeLen(samples[i]), bucketed[i], plain[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBucketedMatchesSingletonPredictions pins the stronger independence
+// property the scheduler rests on: each sample's prediction in a
+// bucketed batch equals its prediction scored alone in a batch of one.
+func TestBucketedMatchesSingletonPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]*encode.Sample, 40)
+	for i := range samples {
+		samples[i] = maskedSample(rng)
+	}
+	tc := quickTrain()
+	tc.Epochs = 1
+	m, _, err := Train(samples, RAAL(), testConfig(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := m.Predict(samples)
+	for i, s := range samples {
+		alone := m.Predict([]*encode.Sample{s})[0]
+		if batched[i] != alone {
+			t.Fatalf("sample %d: batched %v != singleton %v", i, batched[i], alone)
+		}
+	}
+}
+
+// TestScheduleCutsChunksAtBucketBoundaries checks the schedule itself:
+// chunks never mix two active lengths, every input index appears exactly
+// once, and within a bucket the input order is preserved (the counting
+// sort is stable).
+func TestScheduleCutsChunksAtBucketBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]*encode.Sample, 100)
+	for i := range samples {
+		samples[i] = maskedSample(rng)
+	}
+	m := NewModel(RAAL(), testConfig())
+	scored, order, chunks := m.schedule(samples, 8, false)
+	if len(scored) != len(samples) || len(order) != len(samples) {
+		t.Fatalf("schedule lost samples: %d scored, %d order", len(scored), len(order))
+	}
+	seen := make([]bool, len(samples))
+	for pos, idx := range order {
+		if seen[idx] {
+			t.Fatalf("index %d scheduled twice", idx)
+		}
+		seen[idx] = true
+		if scored[pos] != samples[idx] {
+			t.Fatalf("position %d: scored sample does not match order index %d", pos, idx)
+		}
+	}
+	prevLen := 0
+	prevIdx := -1
+	for pos, idx := range order {
+		l := activeLen(samples[idx])
+		if l < prevLen {
+			t.Fatalf("position %d: length %d after %d — schedule not sorted", pos, l, prevLen)
+		}
+		if l == prevLen && idx < prevIdx {
+			t.Fatalf("position %d: input order not preserved within length-%d bucket", pos, l)
+		}
+		prevLen, prevIdx = l, idx
+	}
+	for _, c := range chunks {
+		if c.hi <= c.lo {
+			t.Fatalf("empty chunk %+v", c)
+		}
+		first := activeLen(scored[c.lo])
+		for i := c.lo; i < c.hi; i++ {
+			if activeLen(scored[i]) != first {
+				t.Fatalf("chunk %+v mixes lengths %d and %d", c, first, activeLen(scored[i]))
+			}
+		}
+		if c.hi-c.lo > 8 {
+			t.Fatalf("chunk %+v exceeds chunk size 8", c)
+		}
+	}
+}
+
+// TestBucketOccupancyCounters checks the scheduler's telemetry: scoring
+// an instrumented model moves the per-band occupancy counters by exactly
+// the number of samples in each band, and the unbucketed escape hatch
+// leaves them untouched.
+func TestBucketOccupancyCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	samples := make([]*encode.Sample, 30)
+	want := map[string]uint64{}
+	for i := range samples {
+		samples[i] = maskedSample(rng)
+		want[bucketBand(activeLen(samples[i]))]++
+	}
+	m := NewModel(RAAL(), testConfig())
+	reg := telemetry.NewRegistry()
+	m.Instrument(NewInstrumentation(reg))
+	m.Predict(samples)
+	for _, band := range bucketBands {
+		if got := m.instr.BucketOccupancy.With(band).Value(); got != want[band] {
+			t.Fatalf("band %s occupancy = %d, want %d", band, got, want[band])
+		}
+	}
+	m.PredictWith(samples, PredictOpts{NoBucket: true})
+	for _, band := range bucketBands {
+		if got := m.instr.BucketOccupancy.With(band).Value(); got != want[band] {
+			t.Fatalf("band %s moved under NoBucket: %d, want %d", band, got, want[band])
+		}
+	}
+}

@@ -19,12 +19,41 @@ type Instrumentation struct {
 	PredictRows    *telemetry.Counter
 	RowsPerSec     *telemetry.Gauge
 
+	// BucketOccupancy counts scored samples by active-plan-length band —
+	// the length-bucketed scheduler's occupancy distribution. A workload
+	// that lands everything in one band gains nothing from bucketing; a
+	// spread-out distribution is exactly where it saves padded timesteps.
+	BucketOccupancy *telemetry.CounterVec
+
 	// TrainEpochs counts completed epochs; TrainLoss is the latest
 	// epoch's sample-weighted mean training loss (log-cost MSE);
 	// ShardsPerSec is the latest epoch's gradient-shard throughput.
 	TrainEpochs  *telemetry.Counter
 	TrainLoss    *telemetry.Gauge
 	ShardsPerSec *telemetry.Gauge
+}
+
+// bucketBands are the pre-materialized active-length label values; label
+// children are built at registration time so the scoring path only pays
+// atomic adds.
+var bucketBands = []string{"1-2", "3-4", "5-8", "9-16", "17-32", "33+"}
+
+// bucketBand maps an active plan length to its occupancy label.
+func bucketBand(l int) string {
+	switch {
+	case l <= 2:
+		return "1-2"
+	case l <= 4:
+		return "3-4"
+	case l <= 8:
+		return "5-8"
+	case l <= 16:
+		return "9-16"
+	case l <= 32:
+		return "17-32"
+	default:
+		return "33+"
+	}
 }
 
 // NewInstrumentation registers the model metric set on reg.
@@ -36,6 +65,9 @@ func NewInstrumentation(reg *telemetry.Registry) *Instrumentation {
 			"Samples scored by Predict."),
 		RowsPerSec: reg.NewGauge("raal_predict_rows_per_sec",
 			"Throughput of the most recent Predict call."),
+		BucketOccupancy: reg.NewCounterVec("raal_predict_bucket_occupancy_total",
+			"Samples scored by the length-bucketed scheduler, by active-plan-length band.",
+			"len", bucketBands...),
 		TrainEpochs: reg.NewCounter("raal_train_epochs_total",
 			"Completed training epochs."),
 		TrainLoss: reg.NewGauge("raal_train_epoch_loss",
@@ -55,6 +87,17 @@ func (ins *Instrumentation) observePredict(rows int, elapsed time.Duration) {
 	ins.PredictRows.Add(uint64(rows))
 	if sec > 0 {
 		ins.RowsPerSec.Set(float64(rows) / sec)
+	}
+}
+
+// observeBuckets records one scheduled Predict call's active-length
+// distribution. Nil-safe.
+func (ins *Instrumentation) observeBuckets(lens []int) {
+	if ins == nil {
+		return
+	}
+	for _, l := range lens {
+		ins.BucketOccupancy.With(bucketBand(l)).Inc()
 	}
 }
 

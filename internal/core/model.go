@@ -190,13 +190,8 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample, sp *telemetry
 	bsz := len(batch)
 	L := 1
 	for _, s := range batch {
-		for i := len(s.Mask) - 1; i >= 0; i-- {
-			if s.Mask[i] {
-				if i+1 > L {
-					L = i + 1
-				}
-				break
-			}
+		if l := activeLen(s); l > L {
+			L = l
 		}
 	}
 	in := m.inputDim()
@@ -310,10 +305,11 @@ func (m *Model) replica() *Model {
 }
 
 // PredictOpts tunes data-parallel inference. The zero value picks the
-// defaults: one chunk of 64 samples per tape, spread across GOMAXPROCS
-// worker goroutines. Predictions are bit-identical for every Workers and
-// ChunkSize setting — each sample's output depends only on its own rows,
-// so the decomposition is purely a throughput knob.
+// defaults: length-bucketed chunks of up to 64 samples per tape, spread
+// across GOMAXPROCS worker goroutines. Predictions are bit-identical for
+// every Workers, ChunkSize, and NoBucket setting — each sample's output
+// depends only on its own rows, so the decomposition is purely a
+// throughput knob.
 type PredictOpts struct {
 	// Workers is the number of goroutines scoring chunks. <=0 means
 	// runtime.GOMAXPROCS(0); 1 reproduces the serial scorer.
@@ -321,6 +317,13 @@ type PredictOpts struct {
 	// ChunkSize is the number of samples per forward pass (per tape).
 	// <=0 means 64.
 	ChunkSize int
+	// NoBucket disables length-bucketed scheduling: chunks are cut over
+	// the samples in input order, and forward unrolls each chunk to its
+	// longest member. The default (false) groups samples by active plan
+	// length first, so a short plan never pays a long plan's padded LSTM
+	// timesteps. Outputs are identical either way; this is the escape
+	// hatch for comparing the two schedules.
+	NoBucket bool
 }
 
 // Predict returns the estimated cost in seconds for each sample, using
@@ -371,6 +374,76 @@ func (m *Model) PredictTraced(samples []*encode.Sample) ([]float64, *telemetry.S
 	return out, sp
 }
 
+// activeLen returns the number of leading timesteps the model must unroll
+// for s: the last true Mask index plus one. The floor of 1 matches
+// forward's unroll minimum for fully padded samples.
+func activeLen(s *encode.Sample) int {
+	for i := len(s.Mask) - 1; i >= 0; i-- {
+		if s.Mask[i] {
+			return i + 1
+		}
+	}
+	return 1
+}
+
+// chunkRange is one forward pass's slice of the scheduled sample order.
+type chunkRange struct{ lo, hi int }
+
+// schedule decides which samples share a forward pass. The default is
+// length-bucketed: samples are grouped by active plan length (counting
+// sort — ascending length, input order within a bucket) and chunks never
+// span two lengths, so forward's unroll depth is exact for every chunk
+// and a 3-node plan never pays a 50-node plan's padded timesteps. The
+// returned order maps scheduled position to caller index (nil means
+// identity, the unbucketed path). Scheduling only regroups samples —
+// pooling and attention are mask-invariant, so every sample's arithmetic
+// is untouched and predictions are bit-identical with bucketing on and
+// off (pinned by TestBucketedPredictBitIdentical).
+func (m *Model) schedule(samples []*encode.Sample, chunk int, noBucket bool) ([]*encode.Sample, []int, []chunkRange) {
+	n := len(samples)
+	if noBucket || n <= 1 {
+		chunks := make([]chunkRange, 0, (n+chunk-1)/chunk)
+		for lo := 0; lo < n; lo += chunk {
+			chunks = append(chunks, chunkRange{lo, min(lo+chunk, n)})
+		}
+		return samples, nil, chunks
+	}
+	lens := make([]int, n)
+	maxLen := 1
+	for i, s := range samples {
+		lens[i] = activeLen(s)
+		if lens[i] > maxLen {
+			maxLen = lens[i]
+		}
+	}
+	// starts[l] is the first scheduled position of length l; the copy in
+	// count[] is consumed as the insertion cursor.
+	starts := make([]int, maxLen+2)
+	for _, l := range lens {
+		starts[l+1]++
+	}
+	for l := 1; l < len(starts); l++ {
+		starts[l] += starts[l-1]
+	}
+	count := append([]int(nil), starts...)
+	order := make([]int, n)
+	scored := make([]*encode.Sample, n)
+	for i, s := range samples {
+		p := count[lens[i]]
+		count[lens[i]]++
+		order[p] = i
+		scored[p] = s
+	}
+	m.instr.observeBuckets(lens)
+	var chunks []chunkRange
+	for l := 1; l <= maxLen; l++ {
+		for lo := starts[l]; lo < starts[l+1]; lo += chunk {
+			chunks = append(chunks, chunkRange{lo, min(lo+chunk, starts[l+1])})
+		}
+	}
+	return scored, order, chunks
+}
+
 // predictCtx is the shared scorer behind Predict/PredictCtx/PredictSpan.
 // A non-nil span forces the serial path (callers pass Workers: 1), so
 // stage durations sum to at most the call's wall time.
@@ -384,7 +457,8 @@ func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 	if chunk <= 0 {
 		chunk = 64
 	}
-	nChunks := (len(samples) + chunk - 1) / chunk
+	scored, order, chunks := m.schedule(samples, chunk, opt.NoBucket)
+	nChunks := len(chunks)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -398,13 +472,16 @@ func (m *Model) predictCtx(ctx context.Context, samples []*encode.Sample, opt Pr
 	// tape's arena: the steady-state scoring path performs zero matrix
 	// allocations. Predictions are extracted before the next Reset.
 	score := func(tp *autodiff.Tape, k int) {
-		lo := k * chunk
-		hi := min(lo+chunk, len(samples))
+		c := chunks[k]
 		tp.Reset()
-		pred := m.forward(tp, samples[lo:hi], sp)
+		pred := m.forward(tp, scored[c.lo:c.hi], sp)
 		defer sp.Stage("decode")()
-		for i := lo; i < hi; i++ {
-			out[i] = invTransform(pred.Value.At(i-lo, 0))
+		for i := c.lo; i < c.hi; i++ {
+			dst := i
+			if order != nil {
+				dst = order[i]
+			}
+			out[dst] = invTransform(pred.Value.At(i-c.lo, 0))
 		}
 	}
 

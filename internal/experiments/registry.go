@@ -63,6 +63,8 @@ func Registry() []Runner {
 			RunLab: func(l *Lab) (Report, error) { return QError(l) }},
 		{Name: "micro", Description: "extra: hot-path microbenchmarks (predict/fit ns/op and allocs/op)",
 			Run: func(o Options) (Report, error) { return Micro(o) }},
+		{Name: "serve", Description: "extra: serving throughput, micro-batching on vs off per client count",
+			Run: func(o Options) (Report, error) { return Serve(o) }},
 	}
 }
 

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"raal/internal/core"
+	"raal/internal/encode"
+	"raal/internal/physical"
+	"raal/internal/serve"
+	"raal/internal/sparksim"
+	"raal/internal/telemetry"
+)
+
+// ServeBench is one serving-throughput measurement: a closed-loop client
+// swarm against a serve.Server, with micro-batching on or off. The
+// leading fields match the benchdiff schema (cmd/benchdiff ignores the
+// extras), so BENCH_serve.json can gate regressions like BENCH_micro.
+type ServeBench struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"` // mean wall time per request
+	AllocsOp float64 `json:"allocs_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	N        int     `json:"n"` // total requests behind the averages
+
+	Clients int     `json:"clients"`
+	Batch   string  `json:"batch"` // "on" or "off"
+	QPS     float64 `json:"qps"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	// Batching-path diagnostics (zero when batching is off): mean live
+	// requests per flushed batch, and the fraction of requests answered
+	// by an identical in-flight batch-mate's computation (singleflight
+	// dedup on the hot keys).
+	MeanBatch float64 `json:"mean_batch,omitempty"`
+	DedupFrac float64 `json:"dedup_frac,omitempty"`
+}
+
+// ServeResult is the serving-throughput report.
+type ServeResult struct {
+	Benchmarks []ServeBench `json:"benchmarks"`
+}
+
+// Print renders the throughput table with the batching speedup per
+// concurrency level.
+func (r *ServeResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-26s %9s %9s %9s %8s %7s %7s %9s\n",
+		"workload", "qps", "p50 ms", "p99 ms", "ns/req", "batch", "dedup", "speedup")
+	offQPS := map[int]float64{}
+	for _, b := range r.Benchmarks {
+		if b.Batch == "off" {
+			offQPS[b.Clients] = b.QPS
+		}
+	}
+	for _, b := range r.Benchmarks {
+		speedup, batch, dedup := "-", "-", "-"
+		if b.Batch == "on" {
+			if offQPS[b.Clients] > 0 {
+				speedup = fmt.Sprintf("%.2fx", b.QPS/offQPS[b.Clients])
+			}
+			batch = fmt.Sprintf("%.1f", b.MeanBatch)
+			dedup = fmt.Sprintf("%.0f%%", 100*b.DedupFrac)
+		}
+		fmt.Fprintf(w, "%-26s %9.0f %9.3f %9.3f %8.0f %7s %7s %9s\n",
+			b.Name, b.QPS, b.P50Ms, b.P99Ms, b.NsOp, batch, dedup, speedup)
+	}
+}
+
+// JSON writes the machine-readable form consumed by cmd/benchdiff.
+func (r *ServeResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Workload shape. Every concurrency level serves the same total request
+// count, so QPS across rows is comparable. Query popularity is skewed
+// the way production query logs are: most traffic hits a small hot set
+// (dashboards, canned reports), the rest spreads over a long tail. The
+// hot keys resolve to shared plan objects — the plan cache's behavior —
+// which is what lets the coalescer singleflight identical in-flight
+// requests.
+const (
+	serveTotalRequests = 4096
+	serveWarmup        = 64
+	serveBatchWindow   = 2 * time.Millisecond
+	serveKeySpace      = 256 // distinct queries in the workload
+	serveHotKeys       = 4   // the hot set
+	serveHotPermille   = 900 // share of requests hitting the hot set
+)
+
+var serveClientLevels = []int{1, 4, 16, 32}
+
+// Serve measures end-to-end serving throughput of the robustness stack
+// with dynamic micro-batching on vs off, at several closed-loop client
+// counts. The deep path is a default-shape trained RAAL model over
+// pre-encoded plans (a plan-cache-warm serving tier), so the measured
+// difference is the estimation pipeline itself: per-request forward
+// passes versus coalesced batched passes with in-batch deduplication of
+// the hot queries. Most of the batching win on this workload is the
+// dedup — on one core a forward pass is the same arithmetic batched or
+// not, so coalescing alone only amortizes the small per-call fixed cost
+// (tape and graph setup), while singleflighting the hot keys removes
+// whole forward passes.
+func Serve(opt Options) (*ServeResult, error) {
+	samples := microDataset(serveKeySpace, 77)
+	cfg := core.DefaultConfig(microSem, microNodes)
+	cfg.Seed = opt.Seed
+	tc := core.DefaultTrainConfig()
+	tc.Epochs = 1
+	tc.Batch = 16
+	tc.LR = 5e-3
+	tc.Seed = opt.Seed
+	m, _, err := core.Train(samples[:128], core.RAAL(), cfg, tc)
+	if err != nil {
+		return nil, err
+	}
+
+	// The request population: one immutable plan object per query, as a
+	// plan cache hands out, mapped to its pre-encoded sample.
+	plans := make([]*physical.Plan, serveKeySpace)
+	bySig := make(map[string]*encode.Sample, serveKeySpace)
+	for i, s := range samples {
+		plans[i] = &physical.Plan{Sig: fmt.Sprintf("q%d", i)}
+		bySig[plans[i].Sig] = s
+	}
+
+	res := &ServeResult{}
+	for _, clients := range serveClientLevels {
+		for _, batch := range []bool{false, true} {
+			b, err := runServeLoad(m, bySig, plans, clients, batch)
+			if err != nil {
+				return nil, err
+			}
+			res.Benchmarks = append(res.Benchmarks, b)
+		}
+	}
+	return res, nil
+}
+
+// pickPlan draws from the skewed popularity distribution.
+func pickPlan(rng *rand.Rand, plans []*physical.Plan) *physical.Plan {
+	if rng.Intn(1000) < serveHotPermille {
+		return plans[rng.Intn(serveHotKeys)]
+	}
+	return plans[serveHotKeys+rng.Intn(len(plans)-serveHotKeys)]
+}
+
+// runServeLoad drives one (clients, batching) cell: a closed-loop swarm
+// where each client issues its share of serveTotalRequests back to back.
+func runServeLoad(m *core.Model, bySig map[string]*encode.Sample, plans []*physical.Plan, clients int, batch bool) (ServeBench, error) {
+	po := core.PredictOpts{Workers: 1}
+	met := serve.NewMetrics(telemetry.NewRegistry())
+	scfg := serve.Config{
+		Concurrency: clients,
+		QueueDepth:  clients,
+		Metrics:     met,
+	}
+	name := fmt.Sprintf("serve/clients=%d/batch=off", clients)
+	scfg.Deep = func(ctx context.Context, p *physical.Plan, _ sparksim.Resources) (float64, error) {
+		preds, err := m.PredictCtx(ctx, []*encode.Sample{bySig[p.Sig]}, po)
+		if err != nil {
+			return 0, err
+		}
+		return preds[0], nil
+	}
+	if batch {
+		name = fmt.Sprintf("serve/clients=%d/batch=on", clients)
+		scfg.BatchWindow = serveBatchWindow
+		scfg.BatchMax = clients
+		if scfg.BatchMax < 2 {
+			scfg.BatchMax = 2
+		}
+		scfg.DeepEach = func(ctx context.Context, items []serve.BatchItem) ([]float64, error) {
+			ss := make([]*encode.Sample, len(items))
+			for i, it := range items {
+				ss[i] = bySig[it.Plan.Sig]
+			}
+			return m.PredictCtx(ctx, ss, po)
+		}
+	}
+	srv, err := serve.New(scfg)
+	if err != nil {
+		return ServeBench{}, err
+	}
+
+	perClient := serveTotalRequests / clients
+	run := func(requests int, durs []time.Duration) error {
+		var wg sync.WaitGroup
+		errs := make([]error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000*clients + c)))
+				for i := 0; i < requests; i++ {
+					p := pickPlan(rng, plans)
+					t0 := time.Now()
+					_, err := srv.Estimate(context.Background(), p, sparksim.Resources{})
+					if err != nil {
+						errs[c] = fmt.Errorf("client %d request %d: %w", c, i, err)
+						return
+					}
+					if durs != nil {
+						durs[c*requests+i] = time.Since(t0)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	warm := serveWarmup / clients
+	if warm < 1 {
+		warm = 1
+	}
+	if err := run(warm, nil); err != nil {
+		return ServeBench{}, err
+	}
+	batchedBefore, dedupBefore := met.BatchSize.Count(), met.BatchDeduped.Value()
+	durs := make([]time.Duration, clients*perClient)
+	start := time.Now()
+	if err := run(perClient, durs); err != nil {
+		return ServeBench{}, err
+	}
+	elapsed := time.Since(start)
+	if err := srv.Drain(context.Background()); err != nil {
+		return ServeBench{}, err
+	}
+
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	total := len(durs)
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(total-1))
+		return float64(durs[idx]) / float64(time.Millisecond)
+	}
+	b := ServeBench{
+		Name:    name,
+		NsOp:    float64(sum.Nanoseconds()) / float64(total),
+		N:       total,
+		Clients: clients,
+		Batch:   map[bool]string{true: "on", false: "off"}[batch],
+		QPS:     float64(total) / elapsed.Seconds(),
+		P50Ms:   pct(0.50),
+		P99Ms:   pct(0.99),
+	}
+	if batch {
+		if flushes := met.BatchSize.Count() - batchedBefore; flushes > 0 {
+			b.MeanBatch = float64(total) / float64(flushes)
+		}
+		b.DedupFrac = float64(met.BatchDeduped.Value()-dedupBefore) / float64(total)
+	}
+	return b, nil
+}

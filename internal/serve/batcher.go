@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"raal/internal/physical"
+	"raal/internal/sparksim"
+)
+
+// BatchItem is one coalesced estimation request: a plan priced under its
+// own resource allocation. Batch-mates may carry different allocations —
+// the batch estimator scores each (plan, resources) pair independently.
+type BatchItem struct {
+	Plan *physical.Plan
+	Res  sparksim.Resources
+}
+
+// BatchRunFunc prices many independent (plan, resources) requests in one
+// batched forward pass (in practice CostModel.EstimateEachCtx). It must
+// return exactly one prediction per item, in item order.
+type BatchRunFunc func(ctx context.Context, items []BatchItem) ([]float64, error)
+
+// BatcherConfig wires a Batcher.
+type BatcherConfig struct {
+	// Run executes one coalesced batch (required).
+	Run BatchRunFunc
+	// Window is how long the first request of a batch waits for
+	// batch-mates before the batch is flushed anyway (required > 0).
+	// This bounds the latency cost of coalescing: an isolated request
+	// pays at most Window extra.
+	Window time.Duration
+	// MaxSize flushes a batch immediately once it holds this many
+	// requests (required >= 2) — a full batch never waits out the window.
+	MaxSize int
+	// Metrics receives batch size, queue-wait, and flush-trigger
+	// observations; nil serves unobserved.
+	Metrics *Metrics
+}
+
+// Batcher coalesces concurrent single-plan estimation requests into
+// batched forward passes: the first request opens a collection window,
+// and the batch is scored as one Run call when the window expires or
+// MaxSize requests have gathered, whichever comes first. Each caller
+// blocks on a private future and gets exactly its own prediction back.
+//
+// Batch members that are provably the same computation — the same plan
+// object under the same resource allocation, as a shared plan cache
+// produces for hot queries — are deduplicated before scoring: the batch
+// prices each distinct (plan, resources) once and fans the answer out
+// (singleflight).
+//
+// Failure isolation is per request: a caller whose context dies while
+// waiting gets its own ctx error (the batch proceeds without it), and a
+// batch-level failure is delivered to every member for its own serving
+// pipeline to degrade or fail — members share the failure, never a
+// batch-mate's fate. The batch's context carries the earliest member
+// deadline, so a coalesced call can never outlive its tightest budget;
+// with a shared per-request Deadline the member deadlines differ by at
+// most Window.
+//
+// All methods are safe for concurrent use.
+type Batcher struct {
+	run    BatchRunFunc
+	window time.Duration
+	max    int
+	met    *Metrics
+
+	mu      sync.RWMutex // guards closed and the send on reqs
+	closed  bool
+	reqs    chan *batchReq
+	stopped chan struct{}  // closed when the dispatcher exits
+	flushes sync.WaitGroup // in-flight batch runs
+}
+
+// batchRes carries one member's result across the future channel.
+type batchRes struct {
+	cost float64
+	err  error
+}
+
+// batchReq is one enqueued request: its item, its caller's context, and
+// the buffered future the flush delivers into exactly once.
+type batchReq struct {
+	item BatchItem
+	ctx  context.Context
+	enq  time.Time
+	done chan batchRes
+}
+
+// NewBatcher validates cfg, starts the dispatcher, and returns the
+// batcher. Callers own its lifecycle: Close flushes and stops it.
+func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
+	if cfg.Run == nil {
+		return nil, errors.New("serve: BatcherConfig.Run is required")
+	}
+	if cfg.Window <= 0 {
+		return nil, errors.New("serve: BatcherConfig.Window must be positive")
+	}
+	if cfg.MaxSize < 2 {
+		return nil, errors.New("serve: BatcherConfig.MaxSize must be at least 2 (1 would just add Window of latency)")
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	b := &Batcher{
+		run:     cfg.Run,
+		window:  cfg.Window,
+		max:     cfg.MaxSize,
+		met:     met,
+		reqs:    make(chan *batchReq),
+		stopped: make(chan struct{}),
+	}
+	go b.dispatch()
+	return b, nil
+}
+
+// Estimate submits one request and blocks until its batch delivers (or
+// ctx dies first). The signature matches EstimateFunc, so a Batcher
+// drops into the Server's deep path unchanged.
+func (b *Batcher) Estimate(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+	r := &batchReq{
+		item: BatchItem{Plan: p, Res: res},
+		ctx:  ctx,
+		enq:  time.Now(),
+		done: make(chan batchRes, 1),
+	}
+	if err := b.submit(r); err != nil {
+		return 0, err
+	}
+	select {
+	case out := <-r.done:
+		return out.cost, out.err
+	case <-ctx.Done():
+		// Already enqueued: the flush will observe the dead context and
+		// drop this member, or its delivered result is discarded — the
+		// buffered future never blocks the flusher either way.
+		return 0, ctx.Err()
+	}
+}
+
+// submit hands the request to the dispatcher. The read lock makes the
+// send safe against a concurrent Close (the channel is only closed under
+// the write lock); the dispatcher is always receiving, so the send never
+// blocks meaningfully.
+func (b *Batcher) submit(r *batchReq) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrDraining
+	}
+	select {
+	case b.reqs <- r:
+		return nil
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	}
+}
+
+// dispatch is the single collector goroutine: it owns the pending batch
+// and flushes it to a worker goroutine on window expiry, size cap, or
+// drain, so collection never stalls behind a running batch.
+func (b *Batcher) dispatch() {
+	defer close(b.stopped)
+	var pending []*batchReq
+	var window <-chan time.Time // nil while no batch is open
+	flush := func(trigger string) {
+		batch := pending
+		pending = nil
+		window = nil
+		b.met.BatchFlushes.With(trigger).Inc()
+		b.flushes.Add(1)
+		go func() {
+			defer b.flushes.Done()
+			b.runBatch(batch)
+		}()
+	}
+	for {
+		select {
+		case r, ok := <-b.reqs:
+			if !ok {
+				if len(pending) > 0 {
+					flush("drain")
+				}
+				return
+			}
+			pending = append(pending, r)
+			if len(pending) == 1 {
+				// A fresh timer per batch: a stale channel from a batch
+				// that flushed full is unreferenced once window is
+				// replaced, so it can never fire into the wrong batch.
+				window = time.After(b.window)
+			}
+			if len(pending) >= b.max {
+				flush("full")
+			}
+		case <-window:
+			flush("window")
+		}
+	}
+}
+
+// runBatch scores one flushed batch and delivers per-member results.
+func (b *Batcher) runBatch(batch []*batchReq) {
+	now := time.Now()
+	live := make([]*batchReq, 0, len(batch))
+	for _, r := range batch {
+		// A member whose caller already gave up is dropped here, so a
+		// dead request can neither shrink the batch deadline nor burn a
+		// slot in the forward pass.
+		if err := r.ctx.Err(); err != nil {
+			r.done <- batchRes{err: err}
+			continue
+		}
+		b.met.BatchWait.Observe(now.Sub(r.enq).Seconds())
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.met.BatchSize.Observe(float64(len(live)))
+
+	bctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if dl, ok := earliestDeadline(live); ok {
+		var dcancel context.CancelFunc
+		bctx, dcancel = context.WithDeadline(bctx, dl)
+		defer dcancel()
+	}
+	// Release the batch as soon as every member's caller is gone: the
+	// forward pass aborts at its next cancellation check instead of
+	// pricing plans nobody will read.
+	go func() {
+		for _, r := range live {
+			select {
+			case <-r.ctx.Done():
+			case <-bctx.Done():
+				return
+			}
+		}
+		cancel()
+	}()
+
+	b.score(bctx, live)
+}
+
+// itemKey identifies a request for in-batch deduplication: the same
+// immutable plan object under the same allocation is the same
+// computation. Pointer identity is deliberately conservative — plans
+// re-built per request never alias, so dedup only fires where it is
+// provably sound (requests resolved through a shared plan cache).
+type itemKey struct {
+	plan *physical.Plan
+	res  sparksim.Resources
+}
+
+// score runs one (sub-)batch and delivers per-member results. Identical
+// in-flight requests (same plan object, same resources) coalesce into a
+// single scored slot first — the singleflight half of the batching win
+// on hot-query traffic. A failing batch is then bisected and retried
+// half by half, so one poisoned request (a plan that makes the estimator
+// error or panic) is isolated down to a sub-batch of itself and its
+// batch-mates still get deep answers — the failure is shared only when
+// it is genuinely batch-wide (an expired batch context is never
+// bisected: it would fail every half the same way). Recursion depth is
+// log2(MaxSize).
+func (b *Batcher) score(ctx context.Context, reqs []*batchReq) {
+	slot := make([]int, len(reqs))
+	items := make([]BatchItem, 0, len(reqs))
+	seen := make(map[itemKey]int, len(reqs))
+	for i, r := range reqs {
+		k := itemKey{r.item.Plan, r.item.Res}
+		j, dup := seen[k]
+		if !dup {
+			j = len(items)
+			seen[k] = j
+			items = append(items, r.item)
+		} else {
+			b.met.BatchDeduped.Inc()
+		}
+		slot[i] = j
+	}
+	preds, err := b.guardedRun(ctx, items)
+	if err == nil && len(preds) != len(items) {
+		err = fmt.Errorf("%w: batch estimator returned %d prediction(s) for %d request(s)",
+			ErrInternal, len(preds), len(items))
+	}
+	if err == nil {
+		for i, r := range reqs {
+			r.done <- batchRes{cost: preds[slot[i]]}
+		}
+		return
+	}
+	if ctx.Err() == nil && len(reqs) > 1 {
+		b.met.BatchBisects.Inc()
+		mid := len(reqs) / 2
+		b.score(ctx, reqs[:mid])
+		b.score(ctx, reqs[mid:])
+		return
+	}
+	for _, r := range reqs {
+		// The failure is this request's own (sub-batch of one) or truly
+		// batch-wide; either way its serving pipeline decides what it
+		// becomes (fallback degradation, 504, ...).
+		r.done <- batchRes{err: err}
+	}
+}
+
+// guardedRun is the batch's recover boundary: a panic deep in the
+// estimator becomes a typed ErrInternal delivered per member, never a
+// dead dispatcher.
+func (b *Batcher) guardedRun(ctx context.Context, items []BatchItem) (preds []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: panic: %v", ErrInternal, r)
+		}
+	}()
+	return b.run(ctx, items)
+}
+
+// earliestDeadline returns the soonest member deadline, if any member
+// has one.
+func earliestDeadline(reqs []*batchReq) (time.Time, bool) {
+	var dl time.Time
+	found := false
+	for _, r := range reqs {
+		if d, ok := r.ctx.Deadline(); ok && (!found || d.Before(dl)) {
+			dl, found = d, true
+		}
+	}
+	return dl, found
+}
+
+// Close stops admitting new requests (they fail with ErrDraining),
+// flushes whatever is pending, and waits for in-flight batches to
+// deliver or ctx to expire. Safe to call more than once.
+func (b *Batcher) Close(ctx context.Context) error {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.reqs)
+	}
+	b.mu.Unlock()
+	select {
+	case <-b.stopped:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: batcher close: %w", ctx.Err())
+	}
+	flushed := make(chan struct{})
+	go func() {
+		b.flushes.Wait()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: batcher close: %w", ctx.Err())
+	}
+}

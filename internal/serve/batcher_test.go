@@ -1,0 +1,598 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raal/internal/physical"
+	"raal/internal/sparksim"
+	"raal/internal/telemetry"
+)
+
+// sigValue derives a deterministic per-plan answer, so scatter bugs
+// (request i getting request j's prediction) are detectable.
+func sigValue(p *physical.Plan) float64 { return float64(len(p.Sig)) }
+
+// echoRun scores each item from its plan signature and records every
+// batch it sees.
+type echoRun struct {
+	mu      sync.Mutex
+	batches [][]BatchItem
+}
+
+func (e *echoRun) run(_ context.Context, items []BatchItem) ([]float64, error) {
+	e.mu.Lock()
+	e.batches = append(e.batches, append([]BatchItem(nil), items...))
+	e.mu.Unlock()
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = sigValue(it.Plan)
+	}
+	return out, nil
+}
+
+func (e *echoRun) batchSizes() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sizes := make([]int, len(e.batches))
+	for i, b := range e.batches {
+		sizes[i] = len(b)
+	}
+	return sizes
+}
+
+func mustBatcher(t *testing.T, cfg BatcherConfig) *Batcher {
+	t.Helper()
+	b, err := NewBatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close(context.Background()) })
+	return b
+}
+
+// TestBatcherCoalescesToOneRun: K concurrent requests under a generous
+// window and MaxSize=K must coalesce into exactly one Run call, flushed
+// by the size cap, and every caller must get its own plan's answer back.
+func TestBatcherCoalescesToOneRun(t *testing.T) {
+	const k = 8
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	er := &echoRun{}
+	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	got := make([]float64, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := &physical.Plan{Sig: strings.Repeat("x", i+1)}
+			got[i], errs[i] = b.Estimate(context.Background(), p, testRes)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if got[i] != float64(i+1) {
+			t.Fatalf("request %d got %v, want %v (scatter mismatch)", i, got[i], float64(i+1))
+		}
+	}
+	if sizes := er.batchSizes(); len(sizes) != 1 || sizes[0] != k {
+		t.Fatalf("batches = %v, want one batch of %d", sizes, k)
+	}
+	if met.BatchFlushes.With("full").Value() != 1 {
+		t.Fatalf("full flushes = %d, want 1", met.BatchFlushes.With("full").Value())
+	}
+	if met.BatchSize.Count() != 1 || met.BatchSize.Sum() != k {
+		t.Fatalf("batch size histogram: count %d sum %g, want 1/%d", met.BatchSize.Count(), met.BatchSize.Sum(), k)
+	}
+	if met.BatchWait.Count() != k {
+		t.Fatalf("batch wait observations = %d, want %d", met.BatchWait.Count(), k)
+	}
+}
+
+// TestBatcherWindowFlushesPartialBatch: a lone request must not wait for
+// batch-mates that never come — the window flushes it.
+func TestBatcherWindowFlushesPartialBatch(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	er := &echoRun{}
+	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 5 * time.Millisecond, MaxSize: 64, Metrics: met})
+
+	start := time.Now()
+	got, err := b.Estimate(context.Background(), &physical.Plan{Sig: "abc"}, testRes)
+	if err != nil || got != 3 {
+		t.Fatalf("lone request: got %v, %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("lone request took %v — window never fired", elapsed)
+	}
+	if met.BatchFlushes.With("window").Value() != 1 {
+		t.Fatalf("window flushes = %d, want 1", met.BatchFlushes.With("window").Value())
+	}
+}
+
+// TestBatcherBisectsPoisonedBatch: one plan that makes the estimator
+// fail must not take its batch-mates' deep answers down — the failing
+// batch is bisected until the poison is alone, mates still succeed.
+func TestBatcherBisectsPoisonedBatch(t *testing.T) {
+	const k = 8
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	poisonErr := errors.New("estimator choked on plan")
+	var runs atomic.Int64
+	run := func(_ context.Context, items []BatchItem) ([]float64, error) {
+		runs.Add(1)
+		out := make([]float64, len(items))
+		for i, it := range items {
+			if it.Plan.Sig == "poison" {
+				return nil, poisonErr
+			}
+			out[i] = sigValue(it.Plan)
+		}
+		return out, nil
+	}
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	got := make([]float64, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sig := strings.Repeat("y", i+1)
+			if i == 3 {
+				sig = "poison"
+			}
+			got[i], errs[i] = b.Estimate(context.Background(), &physical.Plan{Sig: sig}, testRes)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if i == 3 {
+			if !errors.Is(errs[i], poisonErr) {
+				t.Fatalf("poisoned request error = %v, want %v", errs[i], poisonErr)
+			}
+			continue
+		}
+		if errs[i] != nil || got[i] != float64(i+1) {
+			t.Fatalf("batch-mate %d poisoned: got %v, err %v", i, got[i], errs[i])
+		}
+	}
+	if met.BatchBisects.Value() == 0 {
+		t.Fatal("bisect counter never moved")
+	}
+}
+
+// TestBatcherPanicIsolatedToPoisonedRequest: a panicking estimator is
+// caught at the batch recover boundary and bisected like any failure —
+// the process survives and only the poisoned request errors.
+func TestBatcherPanicIsolatedToPoisonedRequest(t *testing.T) {
+	run := func(_ context.Context, items []BatchItem) ([]float64, error) {
+		out := make([]float64, len(items))
+		for i, it := range items {
+			if it.Plan.Sig == "boom" {
+				panic("corrupt weights")
+			}
+			out[i] = sigValue(it.Plan)
+		}
+		return out, nil
+	}
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: 4})
+
+	var wg sync.WaitGroup
+	var goodVal atomic.Value
+	var badErr atomic.Value
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sig := "ok"
+			if i == 0 {
+				sig = "boom"
+			}
+			v, err := b.Estimate(context.Background(), &physical.Plan{Sig: sig}, testRes)
+			if sig == "boom" {
+				badErr.Store(err)
+			} else if err == nil {
+				goodVal.Store(v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	err, _ := badErr.Load().(error)
+	if !errors.Is(err, ErrInternal) || !strings.Contains(err.Error(), "corrupt weights") {
+		t.Fatalf("panicked request error = %v, want ErrInternal carrying the panic", err)
+	}
+	if v, _ := goodVal.Load().(float64); v != 2 {
+		t.Fatalf("healthy batch-mate answer = %v, want 2", v)
+	}
+}
+
+// TestBatcherDedupsIdenticalRequests: batch members holding the same
+// plan object under the same allocation are one computation — the batch
+// scores each distinct pair once and fans the answer out, while same-Sig
+// but distinct plan objects (which may differ in cardinalities) are
+// never merged.
+func TestBatcherDedupsIdenticalRequests(t *testing.T) {
+	const k = 8
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	er := &echoRun{}
+	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+
+	hot := &physical.Plan{Sig: "hh"}  // shared pointer: dedupable
+	twin := &physical.Plan{Sig: "hh"} // same Sig, distinct object: not dedupable
+	coldRes := testRes                // distinct allocation for one hot request
+	coldRes.Executors = testRes.Executors + 1
+
+	type reqSpec struct {
+		p    *physical.Plan
+		res  sparksim.Resources
+		want float64
+	}
+	specs := []reqSpec{
+		{hot, testRes, 2}, {hot, testRes, 2}, {hot, testRes, 2}, {hot, testRes, 2},
+		{hot, coldRes, 2},  // same plan, different resources
+		{twin, testRes, 2}, // different object, same Sig
+		{&physical.Plan{Sig: "abc"}, testRes, 3},
+		{&physical.Plan{Sig: "wxyz"}, testRes, 4},
+	}
+	var wg sync.WaitGroup
+	got := make([]float64, k)
+	errs := make([]error, k)
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp reqSpec) {
+			defer wg.Done()
+			got[i], errs[i] = b.Estimate(context.Background(), sp.p, sp.res)
+		}(i, sp)
+	}
+	wg.Wait()
+	for i, sp := range specs {
+		if errs[i] != nil || got[i] != sp.want {
+			t.Fatalf("request %d: got %v, %v; want %v", i, got[i], errs[i], sp.want)
+		}
+	}
+	if len(er.batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(er.batches))
+	}
+	// 8 members, but only 5 distinct computations: hot/testRes (×4),
+	// hot/coldRes, twin/testRes, abc, wxyz.
+	if n := len(er.batches[0]); n != 5 {
+		t.Fatalf("scored items = %d, want 5 after dedup", n)
+	}
+	if met.BatchDeduped.Value() != 3 {
+		t.Fatalf("deduped = %d, want 3", met.BatchDeduped.Value())
+	}
+}
+
+// TestBatcherCancelledMemberIsDropped: a caller that gives up mid-window
+// gets its context error immediately, and the flush prices the batch
+// without it.
+func TestBatcherCancelledMemberIsDropped(t *testing.T) {
+	er := &echoRun{}
+	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 60 * time.Millisecond, MaxSize: 64})
+
+	cctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var cancelledErr error
+	var mateVal float64
+	var mateErr error
+	go func() {
+		defer wg.Done()
+		_, cancelledErr = b.Estimate(cctx, &physical.Plan{Sig: "cancelled"}, testRes)
+	}()
+	go func() {
+		defer wg.Done()
+		mateVal, mateErr = b.Estimate(context.Background(), &physical.Plan{Sig: "ok"}, testRes)
+	}()
+	time.Sleep(10 * time.Millisecond) // both enqueued, window still open
+	cancel()
+	wg.Wait()
+	if !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled member error = %v", cancelledErr)
+	}
+	if mateErr != nil || mateVal != 2 {
+		t.Fatalf("surviving mate: %v, %v", mateVal, mateErr)
+	}
+	for _, batch := range er.batches {
+		for _, it := range batch {
+			if it.Plan.Sig == "cancelled" {
+				t.Fatal("cancelled member was still scored")
+			}
+		}
+	}
+}
+
+// TestBatcherEarliestDeadlinePropagates: the batch context must carry
+// the soonest member deadline, so a coalesced call cannot outlive its
+// tightest budget.
+func TestBatcherEarliestDeadlinePropagates(t *testing.T) {
+	sawDeadline := make(chan time.Time, 1)
+	run := func(ctx context.Context, items []BatchItem) ([]float64, error) {
+		if dl, ok := ctx.Deadline(); ok {
+			sawDeadline <- dl
+		} else {
+			sawDeadline <- time.Time{}
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: 2})
+
+	tight := time.Now().Add(50 * time.Millisecond)
+	tctx, tcancel := context.WithDeadline(context.Background(), tight)
+	defer tcancel()
+	lctx, lcancel := context.WithDeadline(context.Background(), time.Now().Add(10*time.Second))
+	defer lcancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = b.Estimate(tctx, &physical.Plan{Sig: "tight"}, testRes) }()
+	go func() { defer wg.Done(); _, errs[1] = b.Estimate(lctx, &physical.Plan{Sig: "loose"}, testRes) }()
+
+	dl := <-sawDeadline
+	if dl.IsZero() || dl.After(tight.Add(time.Millisecond)) {
+		t.Fatalf("batch deadline = %v, want the tight member's %v", dl, tight)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("member %d error = %v, want DeadlineExceeded", i, err)
+		}
+	}
+}
+
+// TestBatcherDrain: Close flushes the pending batch (members get real
+// answers, not errors), then rejects new work with ErrDraining, and is
+// idempotent.
+func TestBatcherDrain(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	er := &echoRun{}
+	b, err := NewBatcher(BatcherConfig{Run: er.run, Window: time.Hour, MaxSize: 64, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit through the internal path: reqs is unbuffered, so submit
+	// returning guarantees the dispatcher holds the request in pending
+	// before Close runs — the drain MUST flush it.
+	r := &batchReq{
+		item: BatchItem{Plan: &physical.Plan{Sig: "abcd"}, Res: testRes},
+		ctx:  context.Background(),
+		enq:  time.Now(),
+		done: make(chan batchRes, 1),
+	}
+	if err := b.submit(r); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	out := <-r.done
+	if out.err != nil || out.cost != 4 {
+		t.Fatalf("drained request = %v, %v; want 4, nil", out.cost, out.err)
+	}
+	if met.BatchFlushes.With("drain").Value() != 1 {
+		t.Fatalf("drain flushes = %d, want 1", met.BatchFlushes.With("drain").Value())
+	}
+	if _, err := b.Estimate(context.Background(), &physical.Plan{Sig: "x"}, testRes); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close error = %v, want ErrDraining", err)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestBatcherRaceStress is the coalescer's race-detector workout: many
+// goroutines, mixed deadlines, cancellation mid-wait, a slow estimator,
+// and a concurrent drain. Run under -race via make race. Every call must
+// return (no deadlock), and every successful answer must be the caller's
+// own.
+func TestBatcherRaceStress(t *testing.T) {
+	run := func(ctx context.Context, items []BatchItem) ([]float64, error) {
+		select {
+		case <-time.After(time.Duration(len(items)) * 100 * time.Microsecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		out := make([]float64, len(items))
+		for i, it := range items {
+			out[i] = sigValue(it.Plan)
+		}
+		return out, nil
+	}
+	b, err := NewBatcher(BatcherConfig{Run: run, Window: 2 * time.Millisecond, MaxSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 24
+	const perWorker = 20
+	var wg sync.WaitGroup
+	var answered, expired atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				switch rng.Intn(4) {
+				case 0: // deadline likely to expire mid-wait or mid-run
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(3))*time.Millisecond)
+				case 1: // generous deadline
+					ctx, cancel = context.WithTimeout(ctx, time.Second)
+				case 2: // cancelled from another goroutine mid-wait
+					ctx, cancel = context.WithCancel(ctx)
+					delay := time.Duration(rng.Intn(2)) * time.Millisecond
+					go func(c context.CancelFunc) {
+						time.Sleep(delay)
+						c()
+					}(cancel)
+				}
+				sig := strings.Repeat("z", 1+rng.Intn(9))
+				v, err := b.Estimate(ctx, &physical.Plan{Sig: sig}, testRes)
+				cancel()
+				switch {
+				case err == nil:
+					if v != float64(len(sig)) {
+						t.Errorf("worker %d got %v for sig length %d", w, v, len(sig))
+					}
+					answered.Add(1)
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					expired.Add(1)
+				case errors.Is(err, ErrDraining):
+					// The concurrent drain below won the race; fine.
+				default:
+					t.Errorf("worker %d unexpected error: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	// Drain concurrently near the end of the storm: in-flight requests
+	// must still complete or fail with their own context errors.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := b.Close(ctx); err != nil {
+			t.Errorf("close under load: %v", err)
+		}
+	}()
+	wg.Wait()
+	if answered.Load() == 0 {
+		t.Fatal("stress run answered nothing — batches never completed")
+	}
+	t.Logf("answered=%d expired=%d", answered.Load(), expired.Load())
+}
+
+// TestServerBatchedEstimate is the integration check: a Server built
+// with BatchWindow/BatchMax coalesces concurrent Estimate calls through
+// its admission and degradation stack, and a batch-wide deep failure
+// degrades every member to the fallback individually (200 + degraded,
+// not an error).
+func TestServerBatchedEstimate(t *testing.T) {
+	const k = 4
+	var fail atomic.Bool
+	deepEach := func(_ context.Context, items []BatchItem) ([]float64, error) {
+		if fail.Load() {
+			return nil, errors.New("deep model detonated")
+		}
+		out := make([]float64, len(items))
+		for i, it := range items {
+			out[i] = sigValue(it.Plan)
+		}
+		return out, nil
+	}
+	s := mustServer(t, Config{
+		Deep: func(context.Context, *physical.Plan, sparksim.Resources) (float64, error) {
+			return 0, errors.New("unbatched deep path must not be used when batching is on")
+		},
+		DeepEach:    deepEach,
+		Fallback:    constEstimator(7),
+		Concurrency: k,
+		BatchWindow: 20 * time.Millisecond,
+		BatchMax:    k,
+	})
+
+	runWave := func() []Result {
+		var wg sync.WaitGroup
+		results := make([]Result, k)
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				r, err := s.Estimate(context.Background(), &physical.Plan{Sig: strings.Repeat("s", i+1)}, testRes)
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					return
+				}
+				results[i] = r
+			}(i)
+		}
+		wg.Wait()
+		return results
+	}
+
+	for i, r := range runWave() {
+		if r.Source != "model" || r.Degraded || r.Cost != float64(i+1) {
+			t.Fatalf("healthy wave request %d: %+v", i, r)
+		}
+	}
+	fail.Store(true)
+	for i, r := range runWave() {
+		if r.Source != "fallback" || !r.Degraded || r.Cost != 7 {
+			t.Fatalf("failing wave request %d should degrade individually: %+v", i, r)
+		}
+	}
+	fail.Store(false)
+	for i, r := range runWave() {
+		if r.Source != "model" || r.Cost != float64(i+1) {
+			t.Fatalf("recovered wave request %d: %+v", i, r)
+		}
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := s.Estimate(context.Background(), &physical.Plan{Sig: "x"}, testRes); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain error = %v, want ErrDraining", err)
+	}
+}
+
+// TestServerBatchingConfigValidation pins the opt-in contract: BatchMax
+// without DeepEach is a wiring error; BatchMax <= 1 leaves batching off.
+func TestServerBatchingConfigValidation(t *testing.T) {
+	if _, err := New(Config{Deep: constEstimator(1), BatchMax: 4, BatchWindow: time.Millisecond}); err == nil {
+		t.Fatal("BatchMax without DeepEach must be rejected")
+	}
+	s := mustServer(t, Config{Deep: constEstimator(1), BatchMax: 1, BatchWindow: time.Millisecond})
+	if s.batcher != nil {
+		t.Fatal("BatchMax=1 must leave batching disabled")
+	}
+	s = mustServer(t, Config{Deep: constEstimator(1), BatchMax: 0})
+	if s.batcher != nil {
+		t.Fatal("zero BatchMax must leave batching disabled")
+	}
+	if _, err := NewBatcher(BatcherConfig{Run: func(context.Context, []BatchItem) ([]float64, error) { return nil, nil }}); err == nil {
+		t.Fatal("NewBatcher without a window must be rejected")
+	}
+	if _, err := NewBatcher(BatcherConfig{}); err == nil {
+		t.Fatal("NewBatcher without Run must be rejected")
+	}
+}
+
+// TestBatcherWrongPredictionCount: an estimator that returns the wrong
+// number of predictions is a typed internal error, not a silent
+// misalignment; with one member left after bisection it surfaces as
+// ErrInternal.
+func TestBatcherWrongPredictionCount(t *testing.T) {
+	run := func(_ context.Context, items []BatchItem) ([]float64, error) {
+		return make([]float64, len(items)+1), nil
+	}
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: time.Millisecond, MaxSize: 2})
+	_, err := b.Estimate(context.Background(), &physical.Plan{Sig: "x"}, testRes)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("error = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "2 prediction(s) for 1 request(s)") {
+		t.Fatalf("error should name the count mismatch: %v", err)
+	}
+}

@@ -203,3 +203,44 @@ func TestEstimateBatchCtxDeadline(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateEachCtx: the micro-batching substrate prices each
+// (plan, resources) pair exactly as EstimateCtx would price it alone,
+// honours cancellation, and rejects mismatched slice lengths.
+func TestEstimateEachCtx(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	plans, err := sys.Plan(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct allocations per batch member, as concurrent requests carry.
+	var batch []*Plan
+	var res []Resources
+	for i, ex := range []int{1, 2, 4, 8} {
+		r := DefaultResources()
+		r.Executors = ex
+		batch = append(batch, plans[i%len(plans)])
+		res = append(res, r)
+	}
+	got, err := cm.EstimateEachCtx(context.Background(), batch, res, PredictOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch {
+		alone, err := cm.EstimateCtx(context.Background(), batch[i], res[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != alone {
+			t.Fatalf("pair %d: batched %v != alone %v", i, got[i], alone)
+		}
+	}
+	if _, err := cm.EstimateEachCtx(context.Background(), batch, res[:1], PredictOpts{}); err == nil {
+		t.Fatal("mismatched plan/resource lengths must be rejected")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cm.EstimateEachCtx(ctx, batch, res, PredictOpts{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
