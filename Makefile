@@ -8,9 +8,12 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# Tier-1 verification: everything must build and pass.
+# Tier-1 verification: everything must build and pass. Tests run in a
+# shuffled order so hidden inter-test dependencies (shared globals,
+# leaked goroutines, order-coupled fixtures) surface in CI instead of
+# in a refactor.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-detector run over the packages with concurrency on the hot path
 # (data-parallel training/inference, the serving layer, the telemetry

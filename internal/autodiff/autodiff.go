@@ -8,16 +8,28 @@
 // here, so a single numerically-checked gradient core backs the entire deep
 // cost model.
 //
+// # Flat tape
+//
+// The tape is flat in the infergo style: each recorded operation is one
+// fixed-size, pointer-free record (an opcode plus integer operand slots),
+// and operands are addressed by index into the tape's Var slab rather than
+// through per-node pointers or backward closures. Recording an op is an
+// append of one record; Backward is a reverse walk dispatching on the
+// opcode. Nothing on the hot path allocates per node, and the garbage
+// collector never scans a pointer graph proportional to the tape length.
+//
 // # Arena
 //
 // Every matrix an operation produces — output values, gradient
-// accumulators, and backward scratch — is drawn from a per-tape free list
-// keyed by shape, and Reset recycles all of it. A tape that is reused
-// across forward passes of the same model (the pattern in Fit's epoch loop
-// and the Predict worker pool) therefore reaches zero steady-state matrix
-// allocations once its free lists are warm. Pooling never changes results:
-// a recycled matrix is either fully overwritten or explicitly zeroed before
-// use, and the order of floating-point operations is untouched.
+// accumulators, and NewMatrix loans — is carved out of per-tape slabs by a
+// bump-pointer arena, and Reset is a cursor rewind: no free lists, no
+// shape-keyed maps, no per-matrix bookkeeping. A tape that is reused across
+// forward passes of the same model (the pattern in Fit's epoch loop and the
+// Predict worker pool) replays the same allocation sequence against the
+// same slabs and therefore reaches zero steady-state matrix allocations.
+// Pooling never changes results: an arena matrix is either fully
+// overwritten or explicitly zeroed before use, and the order of
+// floating-point operations is untouched.
 //
 // Leaves are exempt: Param wraps caller-owned weights whose gradients must
 // accumulate across Backward calls until the optimizer clears them, so leaf
@@ -45,21 +57,252 @@ type Var struct {
 	Grad  *tensor.Matrix
 
 	needsGrad bool
-	backward  func()
-	t         *Tape // owning tape; nil for leaves (Param), whose grads persist
-	poolVal   bool  // Value came from the arena and is recycled on Reset
+	idx       int32 // slot in the owning tape's Var slab; leafIdx for leaves
 }
+
+// leafIdx marks a Var that lives outside any tape slab (Param leaves).
+const leafIdx int32 = -1
 
 // NeedsGrad reports whether gradients are tracked for this variable.
 func (v *Var) NeedsGrad() bool { return v.needsGrad }
 
-// grad returns the gradient accumulator, allocating it on first use. Leaf
-// gradients are plain allocations that survive Reset (they accumulate until
-// the optimizer zeroes them); tape-owned gradients come from the arena.
-func (v *Var) grad() *tensor.Matrix {
+// opcode identifies the operation a tape record replays in Backward.
+type opcode uint8
+
+const (
+	opMatMul opcode = iota
+	opAdd
+	opSub
+	opMul
+	opScale
+	opAddRow
+	opAddRowAct
+	opSigmoid
+	opTanh
+	opReLU
+	opLeakyReLU
+	opTranspose
+	opSoftmaxRows // shared by the 1-D and 2-D masked variants
+	opConcatCols
+	opConcatRows
+	opRowAt
+	opSliceCols
+	opMeanRowsMasked
+	opSumAll
+	opMeanAll
+	opMSE
+	opDropout
+	opGatherRows
+	opAddRowsAt
+	opIm2ColRows
+)
+
+// rec is one recorded operation: a fixed-size record with no pointers.
+// Operand fields hold slab indices (>= 0) or encoded leaf references
+// (< 0, see Tape.ref); the remaining fields are opcode-specific:
+//
+//	act    fused activation selector (opAddRowAct)
+//	x0, x1 aux-slab offset/length, row index, or column bounds
+//	s      scalar: scale factor, leak alpha, element count n, 1/(1−p)
+//
+// opGatherRows stores its gathered row index in a (it has no single
+// operand; its inputs live in the aux-args slab at [x0, x0+x1)).
+type rec struct {
+	op     opcode
+	act    uint8
+	out    int32
+	a, b   int32
+	x0, x1 int32
+	s      float64
+}
+
+// slabBlock is the number of Vars (and matrix headers) per arena block.
+// Blocks are never reallocated, so pointers into them stay valid across
+// appends.
+const slabBlock = 512
+
+// arenaBlockFloats is the size of one value slab: 128 KiB of float64.
+const arenaBlockFloats = 1 << 14
+
+// arena is a bump-pointer allocator over fixed slabs of float64 values and
+// matrix headers. Allocation walks a cursor forward; rewind moves it back
+// to the start without releasing the slabs, so an identical allocation
+// sequence replayed after rewind returns the same memory — including
+// pointer-identical matrix headers, which the recycling tests pin.
+type arena struct {
+	data    [][]float64 // value slabs
+	bi, off int         // cursor: current slab, next free element
+
+	hdrs [][]tensor.Matrix // matrix-header slabs
+	nHdr int               // headers in use
+}
+
+func (a *arena) rewind() {
+	a.bi, a.off, a.nHdr = 0, 0, 0
+}
+
+// slab returns n contiguous float64s with unspecified contents. Requests
+// larger than a standard slab get a dedicated block of exactly their size.
+func (a *arena) slab(n int) []float64 {
+	for {
+		if a.bi == len(a.data) {
+			sz := arenaBlockFloats
+			if n > sz {
+				sz = n
+			}
+			a.data = append(a.data, make([]float64, sz))
+		}
+		if blk := a.data[a.bi]; a.off+n <= len(blk) {
+			s := blk[a.off : a.off+n : a.off+n]
+			a.off += n
+			return s
+		}
+		a.bi++
+		a.off = 0
+	}
+}
+
+// mat returns a rows×cols matrix with unspecified contents; the caller
+// must fully overwrite (or Zero) it.
+func (a *arena) mat(rows, cols int) *tensor.Matrix {
+	bi, off := a.nHdr/slabBlock, a.nHdr%slabBlock
+	if bi == len(a.hdrs) {
+		a.hdrs = append(a.hdrs, make([]tensor.Matrix, slabBlock))
+	}
+	a.nHdr++
+	m := &a.hdrs[bi][off]
+	m.Rows, m.Cols = rows, cols
+	m.Data = a.slab(rows * cols)
+	return m
+}
+
+// Tape records operations for reverse-mode differentiation. The zero value
+// is ready to use. A Tape is not safe for concurrent use; run one tape per
+// goroutine. Operands passed to a tape's ops must be Vars of that same
+// tape or leaves (Param) — Vars from other tapes are not addressable
+// through this tape's records.
+type Tape struct {
+	recs []rec // recorded grad-tracked ops (the backward walk)
+
+	vars  [][]Var // Var slab: fixed-size blocks with stable addresses
+	nVars int     // Vars in use across blocks
+
+	leaves []*Var // leaf operands referenced this pass, encoded as −(i+1)
+
+	arena arena // value/gradient/header storage, rewound by Reset
+
+	// Aux slabs for record payloads that don't fit the fixed fields.
+	auxArgs []int32          // operand lists (concat, gather)
+	auxMask [][]bool         // row/element masks (mean, dropout)
+	auxMat  []*tensor.Matrix // caller-owned matrices (MSE targets)
+
+	// scratch is the single backward temporary: every backward step that
+	// needs an intermediate product uses it exclusively and consumes it
+	// before the next step runs, so one grow-only buffer serves the whole
+	// walk.
+	scratch    []float64
+	scratchHdr tensor.Matrix
+
+	noGrad bool // inference mode: skip all recording
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// NewInferenceTape returns a tape that evaluates operations forward-only:
+// no records are appended and Backward does nothing. Values are
+// bit-identical to a recording tape's; only the gradient bookkeeping is
+// skipped, which removes it from the serving hot path entirely.
+func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
+
+// Reset drops all recorded operations and rewinds the arena cursor, so the
+// tape can rebuild an equally-shaped graph without allocating. Leaf
+// (Param) values and gradients are untouched.
+func (t *Tape) Reset() {
+	for i := 0; i < t.nVars; i++ {
+		t.vars[i/slabBlock][i%slabBlock] = Var{}
+	}
+	t.nVars = 0
+	t.recs = t.recs[:0]
+	for i := range t.leaves {
+		t.leaves[i] = nil
+	}
+	t.leaves = t.leaves[:0]
+	t.auxArgs = t.auxArgs[:0]
+	for i := range t.auxMask {
+		t.auxMask[i] = nil
+	}
+	t.auxMask = t.auxMask[:0]
+	for i := range t.auxMat {
+		t.auxMat[i] = nil
+	}
+	t.auxMat = t.auxMat[:0]
+	t.arena.rewind()
+}
+
+// Len returns the number of recorded operations (useful in tests).
+func (t *Tape) Len() int { return len(t.recs) }
+
+// NewMatrix returns a zeroed rows×cols matrix on loan from the tape's
+// arena; it is valid until the next Reset, which reclaims it. Use it for
+// per-pass input buffers (wrap with Const) so a reused tape allocates
+// nothing steady-state.
+func (t *Tape) NewMatrix(rows, cols int) *tensor.Matrix {
+	m := t.arena.mat(rows, cols)
+	m.Zero()
+	return m
+}
+
+// get returns an arena matrix with unspecified contents; the caller must
+// fully overwrite it.
+func (t *Tape) get(rows, cols int) *tensor.Matrix { return t.arena.mat(rows, cols) }
+
+// zeroed returns an arena matrix with every element zero.
+func (t *Tape) zeroed(rows, cols int) *tensor.Matrix {
+	m := t.arena.mat(rows, cols)
+	m.Zero()
+	return m
+}
+
+// newVar carves the next Var out of the slab. Blocks have fixed size and
+// are never copied, so the returned pointer is stable.
+func (t *Tape) newVar(val *tensor.Matrix) *Var {
+	bi, off := t.nVars/slabBlock, t.nVars%slabBlock
+	if bi == len(t.vars) {
+		t.vars = append(t.vars, make([]Var, slabBlock))
+	}
+	v := &t.vars[bi][off]
+	*v = Var{Value: val, idx: int32(t.nVars)}
+	t.nVars++
+	return v
+}
+
+// ref encodes operand v for storage in a record: tape Vars are their slab
+// index, leaves are registered in the leaf table and encoded as −(i+1).
+func (t *Tape) ref(v *Var) int32 {
+	if v.idx != leafIdx {
+		return v.idx
+	}
+	t.leaves = append(t.leaves, v)
+	return int32(-len(t.leaves))
+}
+
+// at resolves a record operand reference back to its Var.
+func (t *Tape) at(i int32) *Var {
+	if i >= 0 {
+		return &t.vars[i/slabBlock][i%slabBlock]
+	}
+	return t.leaves[-1-i]
+}
+
+// gradOf returns v's gradient accumulator, allocating it zeroed on first
+// use. Leaf gradients are plain allocations that survive Reset (they
+// accumulate until the optimizer zeroes them); tape-owned gradients come
+// from the arena.
+func (t *Tape) gradOf(v *Var) *tensor.Matrix {
 	if v.Grad == nil {
-		if v.t != nil {
-			v.Grad = v.t.zeroed(v.Value.Rows, v.Value.Cols)
+		if v.idx != leafIdx {
+			v.Grad = t.zeroed(v.Value.Rows, v.Value.Cols)
 		} else {
 			v.Grad = tensor.New(v.Value.Rows, v.Value.Cols)
 		}
@@ -67,289 +310,141 @@ func (v *Var) grad() *tensor.Matrix {
 	return v.Grad
 }
 
-// slabBlock is the number of Vars per arena block. Blocks are never
-// reallocated, so pointers into them stay valid across appends.
-const slabBlock = 512
-
-// Tape records operations for reverse-mode differentiation. The zero value
-// is ready to use. A Tape is not safe for concurrent use; run one tape per
-// goroutine.
-type Tape struct {
-	nodes []*Var // grad-tracked ops, in recording order (the backward walk)
-
-	blocks [][]Var // Var arena: fixed-size blocks with stable addresses
-	nVars  int     // Vars in use across blocks
-
-	free map[int64][]*tensor.Matrix // recycled matrices keyed by shape
-	lent []*tensor.Matrix           // NewMatrix loans, reclaimed on Reset
-
-	noGrad bool // inference mode: skip closures and node recording
-}
-
-// NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
-
-// NewInferenceTape returns a tape that evaluates operations forward-only:
-// no nodes are recorded, no backward closures are built, and Backward does
-// nothing. Values are bit-identical to a recording tape's; only the
-// gradient bookkeeping is skipped, which removes it from the serving hot
-// path entirely.
-func NewInferenceTape() *Tape { return &Tape{noGrad: true} }
-
-// Reset drops all recorded operations and recycles every arena-owned
-// matrix (op outputs, gradients, and NewMatrix loans) into the free lists,
-// so the tape can rebuild an equally-shaped graph without allocating.
-// Leaf (Param) values and gradients are untouched.
-func (t *Tape) Reset() {
-	for i := 0; i < t.nVars; i++ {
-		v := &t.blocks[i/slabBlock][i%slabBlock]
-		if v.poolVal {
-			t.put(v.Value)
-		}
-		if v.Grad != nil {
-			t.put(v.Grad)
-		}
-		v.Value, v.Grad, v.backward = nil, nil, nil
+// tmpMat returns the tape's backward scratch sized rows×cols, contents
+// unspecified. Valid only until the next tmpMat call.
+func (t *Tape) tmpMat(rows, cols int) *tensor.Matrix {
+	n := rows * cols
+	if cap(t.scratch) < n {
+		t.scratch = make([]float64, n)
 	}
-	t.nVars = 0
-	for i := range t.nodes {
-		t.nodes[i] = nil
-	}
-	t.nodes = t.nodes[:0]
-	for i, m := range t.lent {
-		t.put(m)
-		t.lent[i] = nil
-	}
-	t.lent = t.lent[:0]
-}
-
-// Len returns the number of recorded nodes (useful in tests).
-func (t *Tape) Len() int { return len(t.nodes) }
-
-// NewMatrix returns a zeroed rows×cols matrix on loan from the tape's
-// arena; it is valid until the next Reset, which reclaims it. Use it for
-// per-pass input buffers (wrap with Const) so a reused tape allocates
-// nothing steady-state.
-func (t *Tape) NewMatrix(rows, cols int) *tensor.Matrix {
-	m := t.zeroed(rows, cols)
-	t.lent = append(t.lent, m)
-	return m
-}
-
-func shapeKey(rows, cols int) int64 { return int64(rows)<<32 | int64(cols) }
-
-// get returns an arena matrix with unspecified contents; the caller must
-// fully overwrite it.
-func (t *Tape) get(rows, cols int) *tensor.Matrix {
-	k := shapeKey(rows, cols)
-	if s := t.free[k]; len(s) > 0 {
-		m := s[len(s)-1]
-		s[len(s)-1] = nil
-		t.free[k] = s[:len(s)-1]
-		return m
-	}
-	return tensor.New(rows, cols)
-}
-
-// zeroed returns an arena matrix with every element zero.
-func (t *Tape) zeroed(rows, cols int) *tensor.Matrix {
-	k := shapeKey(rows, cols)
-	if s := t.free[k]; len(s) > 0 {
-		m := s[len(s)-1]
-		s[len(s)-1] = nil
-		t.free[k] = s[:len(s)-1]
-		m.Zero()
-		return m
-	}
-	return tensor.New(rows, cols)
-}
-
-// put returns a matrix to the free list. Only arena-owned matrices may be
-// put, and each exactly once per cycle (Reset walks values, gradients, and
-// loans through disjoint channels, so no matrix is freed twice).
-func (t *Tape) put(m *tensor.Matrix) {
-	if t.free == nil {
-		t.free = make(map[int64][]*tensor.Matrix)
-	}
-	k := shapeKey(m.Rows, m.Cols)
-	t.free[k] = append(t.free[k], m)
-}
-
-// newVar carves the next Var out of the slab. Blocks have fixed size and
-// are never copied, so the returned pointer is stable.
-func (t *Tape) newVar(val *tensor.Matrix, pooled bool) *Var {
-	bi, off := t.nVars/slabBlock, t.nVars%slabBlock
-	if bi == len(t.blocks) {
-		t.blocks = append(t.blocks, make([]Var, slabBlock))
-	}
-	t.nVars++
-	v := &t.blocks[bi][off]
-	*v = Var{Value: val, t: t, poolVal: pooled}
-	return v
+	t.scratchHdr = tensor.Matrix{Rows: rows, Cols: cols, Data: t.scratch[:n]}
+	return &t.scratchHdr
 }
 
 // Param registers m as a trainable leaf: its gradient is accumulated into
 // m's Var across Backward calls until ZeroGrad. Param Vars are independent
 // of the tape — they and their gradients survive Reset.
 func (t *Tape) Param(m *tensor.Matrix) *Var {
-	return &Var{Value: m, needsGrad: true}
+	return &Var{Value: m, needsGrad: true, idx: leafIdx}
 }
 
 // Const wraps m as a constant input: no gradient is tracked and m itself is
 // never recycled (the Var holding it is).
 func (t *Tape) Const(m *tensor.Matrix) *Var {
-	return t.newVar(m, false)
+	return t.newVar(m)
 }
 
-// track reports whether an op over the given inputs must record a backward
-// closure. Split by arity so the hot path never allocates a variadic slice.
+// track reports whether an op over the given inputs must be recorded.
+// Split by arity so the hot path never allocates a variadic slice.
 func (t *Tape) track1(a *Var) bool { return !t.noGrad && a.needsGrad }
 func (t *Tape) track2(a, b *Var) bool {
 	return !t.noGrad && (a.needsGrad || b.needsGrad)
 }
 
-// recordOp marks out as grad-tracked with the given backward closure.
-func (t *Tape) recordOp(out *Var, backward func()) *Var {
+func (t *Tape) trackN(vs []*Var) bool {
+	if t.noGrad {
+		return false
+	}
+	for _, v := range vs {
+		if v.needsGrad {
+			return true
+		}
+	}
+	return false
+}
+
+// push marks out as grad-tracked and appends its record.
+func (t *Tape) push(out *Var, r rec) *Var {
 	out.needsGrad = true
-	out.backward = backward
-	t.nodes = append(t.nodes, out)
+	r.out = out.idx
+	t.recs = append(t.recs, r)
 	return out
 }
 
-// Backward seeds root's gradient with 1 (root must be 1×1) and propagates
-// gradients through every recorded operation in reverse order.
-func (t *Tape) Backward(root *Var) {
-	if root.Value.Rows != 1 || root.Value.Cols != 1 {
-		panic(fmt.Sprintf("autodiff: Backward root must be 1x1, got %dx%d", root.Value.Rows, root.Value.Cols))
+// pushArgs stores an operand list in the aux-args slab, returning its
+// offset and length for the record's x0/x1 fields.
+func (t *Tape) pushArgs(vs []*Var) (off, ln int32) {
+	off = int32(len(t.auxArgs))
+	for _, v := range vs {
+		t.auxArgs = append(t.auxArgs, t.ref(v))
 	}
-	root.grad().Data[0] = 1
-	for i := len(t.nodes) - 1; i >= 0; i-- {
-		n := t.nodes[i]
-		if n.backward != nil && n.Grad != nil {
-			n.backward()
-		}
-	}
+	return off, int32(len(vs))
+}
+
+func (t *Tape) pushMask(m []bool) int32 {
+	t.auxMask = append(t.auxMask, m)
+	return int32(len(t.auxMask) - 1)
+}
+
+func (t *Tape) pushMat(m *tensor.Matrix) int32 {
+	t.auxMat = append(t.auxMat, m)
+	return int32(len(t.auxMat) - 1)
 }
 
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Var) *Var {
 	val := t.get(a.Value.Rows, b.Value.Cols)
 	tensor.MatMulInto(val, a.Value, b.Value)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track2(a, b) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		if a.needsGrad {
-			tmp := t.get(out.Grad.Rows, b.Value.Rows)
-			tensor.MatMulTransBInto(tmp, out.Grad, b.Value)
-			tensor.AddInPlace(a.grad(), tmp)
-			t.put(tmp)
-		}
-		if b.needsGrad {
-			tmp := t.get(a.Value.Cols, out.Grad.Cols)
-			tensor.MatMulTransAInto(tmp, a.Value, out.Grad)
-			tensor.AddInPlace(b.grad(), tmp)
-			t.put(tmp)
-		}
-	})
+	return t.push(out, rec{op: opMatMul, a: t.ref(a), b: t.ref(b)})
 }
 
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Var) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
 	tensor.AddInto(val, a.Value, b.Value)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track2(a, b) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		if a.needsGrad {
-			tensor.AddInPlace(a.grad(), out.Grad)
-		}
-		if b.needsGrad {
-			tensor.AddInPlace(b.grad(), out.Grad)
-		}
-	})
+	return t.push(out, rec{op: opAdd, a: t.ref(a), b: t.ref(b)})
 }
 
 // Sub returns a−b (same shape).
 func (t *Tape) Sub(a, b *Var) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
 	tensor.SubInto(val, a.Value, b.Value)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track2(a, b) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		if a.needsGrad {
-			tensor.AddInPlace(a.grad(), out.Grad)
-		}
-		if b.needsGrad {
-			tensor.AxpyInPlace(b.grad(), -1, out.Grad)
-		}
-	})
+	return t.push(out, rec{op: opSub, a: t.ref(a), b: t.ref(b)})
 }
 
 // Mul returns the elementwise product a∘b.
 func (t *Tape) Mul(a, b *Var) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
 	tensor.MulInto(val, a.Value, b.Value)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track2(a, b) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		if a.needsGrad {
-			tmp := t.get(out.Grad.Rows, out.Grad.Cols)
-			tensor.MulInto(tmp, out.Grad, b.Value)
-			tensor.AddInPlace(a.grad(), tmp)
-			t.put(tmp)
-		}
-		if b.needsGrad {
-			tmp := t.get(out.Grad.Rows, out.Grad.Cols)
-			tensor.MulInto(tmp, out.Grad, a.Value)
-			tensor.AddInPlace(b.grad(), tmp)
-			t.put(tmp)
-		}
-	})
+	return t.push(out, rec{op: opMul, a: t.ref(a), b: t.ref(b)})
 }
 
 // Scale returns s·a.
 func (t *Tape) Scale(a *Var, s float64) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
 	tensor.ScaleInto(val, a.Value, s)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		tensor.AxpyInPlace(a.grad(), s, out.Grad)
-	})
+	return t.push(out, rec{op: opScale, a: t.ref(a), s: s})
 }
 
 // AddRow broadcasts the 1×n row vector r across every row of m.
 func (t *Tape) AddRow(m, r *Var) *Var {
 	val := t.get(m.Value.Rows, m.Value.Cols)
 	tensor.AddRowInto(val, m.Value, r.Value)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track2(m, r) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		if m.needsGrad {
-			tensor.AddInPlace(m.grad(), out.Grad)
-		}
-		if r.needsGrad {
-			g := r.grad()
-			for i := 0; i < out.Grad.Rows; i++ {
-				row := out.Grad.Row(i)
-				for j, v := range row {
-					g.Data[j] += v
-				}
-			}
-		}
-	})
+	return t.push(out, rec{op: opAddRow, a: t.ref(m), b: t.ref(r)})
 }
 
 // ActFn selects the activation fused into AddRowApply. The derivative of
@@ -365,23 +460,18 @@ const (
 	ActReLU
 )
 
-// fn returns the forward scalar function; nil means identity, which lets
-// the tensor kernel skip the per-element call.
-func (f ActFn) fn() func(float64) float64 {
+// kernel maps the activation onto the tensor-layer enum driving the fused
+// forward kernel.
+func (f ActFn) kernel() tensor.Act {
 	switch f {
 	case ActIdentity:
-		return nil
+		return tensor.ActNone
 	case ActSigmoid:
-		return func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+		return tensor.ActSigmoid
 	case ActTanh:
-		return math.Tanh
+		return tensor.ActTanh
 	case ActReLU:
-		return func(x float64) float64 {
-			if x > 0 {
-				return x
-			}
-			return 0
-		}
+		return tensor.ActReLU
 	default:
 		panic(fmt.Sprintf("autodiff: unknown ActFn(%d)", int(f)))
 	}
@@ -394,149 +484,73 @@ func (f ActFn) fn() func(float64) float64 {
 // gradients, to applying the activation to AddRow(m, r).
 func (t *Tape) AddRowApply(m, r *Var, f ActFn) *Var {
 	val := t.get(m.Value.Rows, m.Value.Cols)
-	tensor.AddRowApplyInto(val, m.Value, r.Value, f.fn())
-	out := t.newVar(val, true)
+	tensor.AddRowActInto(val, m.Value, r.Value, f.kernel())
+	out := t.newVar(val)
 	if !t.track2(m, r) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		// d = dL/d(pre-activation), derived from the output value with the
-		// same association the unfused activation backward uses; it then
-		// flows to m elementwise and to r as column sums, in the same
-		// ascending-row order as AddRow's backward.
-		var mg, rg *tensor.Matrix
-		if m.needsGrad {
-			mg = m.grad()
-		}
-		if r.needsGrad {
-			rg = r.grad()
-		}
-		for i := 0; i < val.Rows; i++ {
-			y := val.Row(i)
-			dy := out.Grad.Row(i)
-			var mrow []float64
-			if mg != nil {
-				mrow = mg.Row(i)
-			}
-			for j := range y {
-				var d float64
-				switch f {
-				case ActIdentity:
-					d = dy[j]
-				case ActSigmoid:
-					d = dy[j] * y[j] * (1 - y[j])
-				case ActTanh:
-					d = dy[j] * (1 - y[j]*y[j])
-				case ActReLU:
-					if y[j] > 0 {
-						d = dy[j]
-					}
-				}
-				if mrow != nil {
-					mrow[j] += d
-				}
-				if rg != nil {
-					rg.Data[j] += d
-				}
-			}
-		}
-	})
+	return t.push(out, rec{op: opAddRowAct, act: uint8(f), a: t.ref(m), b: t.ref(r)})
 }
 
 // Sigmoid applies the logistic function elementwise.
 func (t *Tape) Sigmoid(a *Var) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
-	tensor.ApplyInto(val, a.Value, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	out := t.newVar(val, true)
+	tensor.SigmoidInto(val, a.Value)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i, s := range val.Data {
-			g.Data[i] += out.Grad.Data[i] * s * (1 - s)
-		}
-	})
+	return t.push(out, rec{op: opSigmoid, a: t.ref(a)})
 }
 
 // Tanh applies the hyperbolic tangent elementwise.
 func (t *Tape) Tanh(a *Var) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
-	tensor.ApplyInto(val, a.Value, math.Tanh)
-	out := t.newVar(val, true)
+	tensor.TanhInto(val, a.Value)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i, y := range val.Data {
-			g.Data[i] += out.Grad.Data[i] * (1 - y*y)
-		}
-	})
+	return t.push(out, rec{op: opTanh, a: t.ref(a)})
 }
 
 // ReLU applies max(0,x) elementwise.
 func (t *Tape) ReLU(a *Var) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
-	tensor.ApplyInto(val, a.Value, func(x float64) float64 {
-		if x > 0 {
-			return x
-		}
-		return 0
-	})
-	out := t.newVar(val, true)
+	tensor.ReLUInto(val, a.Value)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i, x := range a.Value.Data {
-			if x > 0 {
-				g.Data[i] += out.Grad.Data[i]
-			}
-		}
-	})
+	return t.push(out, rec{op: opReLU, a: t.ref(a)})
 }
 
 // LeakyReLU applies max(alpha·x, x) elementwise.
 func (t *Tape) LeakyReLU(a *Var, alpha float64) *Var {
 	val := t.get(a.Value.Rows, a.Value.Cols)
-	tensor.ApplyInto(val, a.Value, func(x float64) float64 {
+	for i, x := range a.Value.Data {
 		if x > 0 {
-			return x
+			val.Data[i] = x
+		} else {
+			val.Data[i] = alpha * x
 		}
-		return alpha * x
-	})
-	out := t.newVar(val, true)
+	}
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i, x := range a.Value.Data {
-			if x > 0 {
-				g.Data[i] += out.Grad.Data[i]
-			} else {
-				g.Data[i] += alpha * out.Grad.Data[i]
-			}
-		}
-	})
+	return t.push(out, rec{op: opLeakyReLU, a: t.ref(a), s: alpha})
 }
 
 // Transpose returns aᵀ.
 func (t *Tape) Transpose(a *Var) *Var {
 	val := t.get(a.Value.Cols, a.Value.Rows)
 	tensor.TransposeInto(val, a.Value)
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		tmp := t.get(out.Grad.Cols, out.Grad.Rows)
-		tensor.TransposeInto(tmp, out.Grad)
-		tensor.AddInPlace(a.grad(), tmp)
-		t.put(tmp)
-	})
+	return t.push(out, rec{op: opTranspose, a: t.ref(a)})
 }
 
 // SoftmaxRows applies a row-wise softmax. mask may be nil; otherwise it must
@@ -577,25 +591,13 @@ func (t *Tape) SoftmaxRows(a *Var, mask []bool) *Var {
 			outRow[j] /= sum
 		}
 	}
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i := 0; i < val.Rows; i++ {
-			y := val.Row(i)
-			dy := out.Grad.Row(i)
-			var dot float64
-			for j := range y {
-				dot += y[j] * dy[j]
-			}
-			grow := g.Row(i)
-			for j := range y {
-				grow[j] += y[j] * (dy[j] - dot)
-			}
-		}
-	})
+	// The backward pass needs no mask: masked entries have probability
+	// exactly 0, so their contributions vanish term by term.
+	return t.push(out, rec{op: opSoftmaxRows, a: t.ref(a)})
 }
 
 // SoftmaxRowsMask2D applies a row-wise softmax with an independent column
@@ -640,25 +642,11 @@ func (t *Tape) SoftmaxRowsMask2D(a *Var, mask [][]bool) *Var {
 			outRow[j] /= sum
 		}
 	}
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i := 0; i < val.Rows; i++ {
-			y := val.Row(i)
-			dy := out.Grad.Row(i)
-			var dot float64
-			for j := range y {
-				dot += y[j] * dy[j]
-			}
-			grow := g.Row(i)
-			for j := range y {
-				grow[j] += y[j] * (dy[j] - dot)
-			}
-		}
-	})
+	return t.push(out, rec{op: opSoftmaxRows, a: t.ref(a)})
 }
 
 // ConcatCols concatenates variables horizontally.
@@ -683,36 +671,12 @@ func (t *Tape) ConcatCols(vs ...*Var) *Var {
 			off += w
 		}
 	}
-	out := t.newVar(val, true)
-	tracked := false
-	if !t.noGrad {
-		for _, v := range vs {
-			if v.needsGrad {
-				tracked = true
-				break
-			}
-		}
-	}
-	if !tracked {
+	out := t.newVar(val)
+	if !t.trackN(vs) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		off := 0
-		for _, v := range vs {
-			w := v.Value.Cols
-			if v.needsGrad {
-				g := v.grad()
-				for i := 0; i < out.Grad.Rows; i++ {
-					src := out.Grad.Row(i)[off : off+w]
-					dst := g.Row(i)
-					for j, x := range src {
-						dst[j] += x
-					}
-				}
-			}
-			off += w
-		}
-	})
+	off, ln := t.pushArgs(vs)
+	return t.push(out, rec{op: opConcatCols, x0: off, x1: ln})
 }
 
 // ConcatRows concatenates variables vertically.
@@ -733,33 +697,96 @@ func (t *Tape) ConcatRows(vs ...*Var) *Var {
 		copy(val.Data[off:off+len(v.Value.Data)], v.Value.Data)
 		off += len(v.Value.Data)
 	}
-	out := t.newVar(val, true)
-	tracked := false
-	if !t.noGrad {
-		for _, v := range vs {
-			if v.needsGrad {
-				tracked = true
-				break
-			}
-		}
-	}
-	if !tracked {
+	out := t.newVar(val)
+	if !t.trackN(vs) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		off := 0
-		for _, v := range vs {
-			n := v.Value.Rows * v.Value.Cols
-			if v.needsGrad {
-				g := v.grad()
-				src := out.Grad.Data[off : off+n]
-				for j, x := range src {
-					g.Data[j] += x
+	aoff, ln := t.pushArgs(vs)
+	return t.push(out, rec{op: opConcatRows, x0: aoff, x1: ln})
+}
+
+// GatherRows extracts row i of every input and stacks the copies into a
+// len(vs)×cols variable: out.Row(k) = vs[k].Row(i). One op replaces the
+// per-timestep RowAt + ConcatRows chain the recurrent readout used to
+// record (len(vs)+1 ops and as many intermediate Vars).
+func (t *Tape) GatherRows(vs []*Var, i int) *Var {
+	if len(vs) == 0 {
+		return t.newVar(t.get(0, 0))
+	}
+	cols := vs[0].Value.Cols
+	val := t.get(len(vs), cols)
+	for k, v := range vs {
+		if v.Value.Cols != cols {
+			panic(fmt.Sprintf("autodiff: GatherRows col mismatch %d != %d", v.Value.Cols, cols))
+		}
+		if i < 0 || i >= v.Value.Rows {
+			panic(fmt.Sprintf("autodiff: GatherRows(%d) out of %d rows", i, v.Value.Rows))
+		}
+		copy(val.Row(k), v.Value.Row(i))
+	}
+	out := t.newVar(val)
+	if !t.trackN(vs) {
+		return out
+	}
+	off, ln := t.pushArgs(vs)
+	return t.push(out, rec{op: opGatherRows, a: int32(i), x0: off, x1: ln})
+}
+
+// AddRowsAt returns rows [i, i+small.Rows) of big plus small, elementwise —
+// an Add against a contiguous row window of big without materializing the
+// window as its own Var. This is the stacked-input recurrence step: the
+// input projection for all timesteps is one big matmul, and each step adds
+// its row window to the recurrent term.
+func (t *Tape) AddRowsAt(big *Var, i int, small *Var) *Var {
+	rows, cols := small.Value.Rows, small.Value.Cols
+	if big.Value.Cols != cols {
+		panic(fmt.Sprintf("autodiff: AddRowsAt col mismatch %d != %d", big.Value.Cols, cols))
+	}
+	if i < 0 || i+rows > big.Value.Rows {
+		panic(fmt.Sprintf("autodiff: AddRowsAt rows [%d,%d) out of %d", i, i+rows, big.Value.Rows))
+	}
+	val := t.get(rows, cols)
+	win := big.Value.Data[i*cols : (i+rows)*cols]
+	for k, v := range win {
+		val.Data[k] = v + small.Value.Data[k]
+	}
+	out := t.newVar(val)
+	if !t.track2(big, small) {
+		return out
+	}
+	return t.push(out, rec{op: opAddRowsAt, a: t.ref(big), b: t.ref(small), x0: int32(i)})
+}
+
+// Im2ColRows materializes the width-row neighborhood of every row of x
+// ("same" padding: out-of-range rows read as zero) as one rows×(width·cols)
+// matrix: out.Row(p) = [x.Row(p−half) … x.Row(p+half)]. width must be odd.
+// One op replaces the per-position RowAt/zero/ConcatCols chain that
+// convolution lowering used to record.
+func (t *Tape) Im2ColRows(x *Var, width int) *Var {
+	if width < 1 || width%2 == 0 {
+		panic(fmt.Sprintf("autodiff: Im2ColRows width %d must be odd and positive", width))
+	}
+	rows, cols := x.Value.Rows, x.Value.Cols
+	half := width / 2
+	val := t.get(rows, width*cols)
+	for p := 0; p < rows; p++ {
+		orow := val.Row(p)
+		for k := 0; k < width; k++ {
+			dst := orow[k*cols : (k+1)*cols]
+			if src := p + k - half; src >= 0 && src < rows {
+				copy(dst, x.Value.Row(src))
+			} else {
+				for j := range dst {
+					dst[j] = 0
 				}
 			}
-			off += n
 		}
-	})
+	}
+	out := t.newVar(val)
+	if !t.track1(x) {
+		return out
+	}
+	return t.push(out, rec{op: opIm2ColRows, a: t.ref(x), x0: int32(width)})
 }
 
 // RowAt extracts row i of a as a 1×cols variable.
@@ -769,16 +796,11 @@ func (t *Tape) RowAt(a *Var, i int) *Var {
 	}
 	val := t.get(1, a.Value.Cols)
 	copy(val.Data, a.Value.Row(i))
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		dst := a.grad().Row(i)
-		for j, x := range out.Grad.Data {
-			dst[j] += x
-		}
-	})
+	return t.push(out, rec{op: opRowAt, a: t.ref(a), x0: int32(i)})
 }
 
 // SliceCols extracts columns [lo,hi) of a as a copy.
@@ -791,20 +813,11 @@ func (t *Tape) SliceCols(a *Var, lo, hi int) *Var {
 	for i := 0; i < a.Value.Rows; i++ {
 		copy(val.Row(i), a.Value.Row(i)[lo:hi])
 	}
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i := 0; i < val.Rows; i++ {
-			dst := g.Row(i)[lo:hi]
-			src := out.Grad.Row(i)
-			for j, x := range src {
-				dst[j] += x
-			}
-		}
-	})
+	return t.push(out, rec{op: opSliceCols, a: t.ref(a), x0: int32(lo), x1: int32(hi)})
 }
 
 // MeanRowsMasked averages the rows of a whose mask entry is true, returning
@@ -831,57 +844,33 @@ func (t *Tape) MeanRowsMasked(a *Var, mask []bool) *Var {
 			}
 		}
 	}
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) || n == 0 {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i, m := range mask {
-			if !m {
-				continue
-			}
-			dst := g.Row(i)
-			for j, x := range out.Grad.Data {
-				dst[j] += x / float64(n)
-			}
-		}
-	})
+	return t.push(out, rec{op: opMeanRowsMasked, a: t.ref(a), x0: t.pushMask(mask), s: float64(n)})
 }
 
 // SumAll reduces a to a 1×1 variable holding the sum of its elements.
 func (t *Tape) SumAll(a *Var) *Var {
 	val := t.get(1, 1)
 	val.Data[0] = a.Value.Sum()
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		d := out.Grad.Data[0]
-		for i := range g.Data {
-			g.Data[i] += d
-		}
-	})
+	return t.push(out, rec{op: opSumAll, a: t.ref(a)})
 }
 
 // MeanAll reduces a to a 1×1 variable holding the mean of its elements.
 func (t *Tape) MeanAll(a *Var) *Var {
-	n := float64(len(a.Value.Data))
 	val := t.get(1, 1)
 	val.Data[0] = a.Value.Mean()
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		d := out.Grad.Data[0] / n
-		for i := range g.Data {
-			g.Data[i] += d
-		}
-	})
+	return t.push(out, rec{op: opMeanAll, a: t.ref(a), s: float64(len(a.Value.Data))})
 }
 
 // MSE returns the mean squared error between pred and the constant target,
@@ -900,17 +889,11 @@ func (t *Tape) MSE(pred *Var, target *tensor.Matrix) *Var {
 	loss /= n
 	val := t.get(1, 1)
 	val.Data[0] = loss
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(pred) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := pred.grad()
-		d := out.Grad.Data[0]
-		for i, p := range pred.Value.Data {
-			g.Data[i] += d * 2 * (p - target.Data[i]) / n
-		}
-	})
+	return t.push(out, rec{op: opMSE, a: t.ref(pred), x0: t.pushMat(target), s: n})
 }
 
 // Dropout zeroes each element with probability p at training time and
@@ -933,16 +916,9 @@ func (t *Tape) Dropout(a *Var, p float64, keep []bool) *Var {
 			val.Data[i] = 0
 		}
 	}
-	out := t.newVar(val, true)
+	out := t.newVar(val)
 	if !t.track1(a) {
 		return out
 	}
-	return t.recordOp(out, func() {
-		g := a.grad()
-		for i := range g.Data {
-			if keep[i] {
-				g.Data[i] += out.Grad.Data[i] * scale
-			}
-		}
-	})
+	return t.push(out, rec{op: opDropout, a: t.ref(a), x0: t.pushMask(keep), s: scale})
 }

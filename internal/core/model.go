@@ -200,25 +200,20 @@ func (m *Model) forward(tp *autodiff.Tape, batch []*encode.Sample, sp *telemetry
 	perSampleH := make([]*autodiff.Var, bsz) // each L×Hidden
 	if m.lstm != nil {
 		stop := sp.Stage("embed")
-		xs := make([]*autodiff.Var, L)
+		// One stacked (L·bsz)×in input buffer: row t·bsz+b is sample b's
+		// node-t row. Arena-backed; nodeInput overwrites every row, so a
+		// recycled matrix needs no clearing beyond what NewMatrix does.
+		x := tp.NewMatrix(L*bsz, in)
 		for t := 0; t < L; t++ {
-			// Arena-backed input buffer: nodeInput overwrites every row, so
-			// a recycled matrix needs no clearing beyond what NewMatrix does.
-			xt := tp.NewMatrix(bsz, in)
 			for b, s := range batch {
-				m.nodeInput(s, t, xt.Row(b))
+				m.nodeInput(s, t, x.Row(t*bsz+b))
 			}
-			xs[t] = tp.Const(xt)
 		}
 		stop()
 		stop = sp.Stage("lstm")
-		hs := m.lstm.Forward(tp, xs)
+		hs := m.lstm.ForwardStacked(tp, tp.Const(x), L)
 		for b := 0; b < bsz; b++ {
-			rows := make([]*autodiff.Var, L)
-			for t := 0; t < L; t++ {
-				rows[t] = tp.RowAt(hs[t], b)
-			}
-			perSampleH[b] = tp.ConcatRows(rows...)
+			perSampleH[b] = tp.GatherRows(hs, b)
 		}
 		stop()
 	} else {

@@ -39,26 +39,11 @@ func NewConv1D(name string, in, filters, width int, act Activation, rng *rand.Ra
 
 // Forward convolves the L×in input and returns L×filters. The receptive
 // field of each output row is the Width rows centred on it, with zero
-// padding at the sequence boundaries.
+// padding at the sequence boundaries. The window gather is a single
+// Im2ColRows op — one record and one matrix for the whole lowering, where
+// the per-position RowAt/ConcatCols chain recorded O(L·Width) of each.
 func (c *Conv1D) Forward(tp *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
-	l := x.Value.Rows
-	half := c.Width / 2
-	zero := tp.Const(tp.NewMatrix(1, c.In))
-	// im2col: each output position gathers its window into one row.
-	rows := make([]*autodiff.Var, l)
-	for pos := 0; pos < l; pos++ {
-		window := make([]*autodiff.Var, c.Width)
-		for k := 0; k < c.Width; k++ {
-			src := pos + k - half
-			if src < 0 || src >= l {
-				window[k] = zero
-			} else {
-				window[k] = tp.RowAt(x, src)
-			}
-		}
-		rows[pos] = tp.ConcatCols(window...)
-	}
-	cols := tp.ConcatRows(rows...)
+	cols := tp.Im2ColRows(x, c.Width)
 	return biasAct(tp, tp.MatMul(cols, c.W.Var), c.B, c.Act)
 }
 

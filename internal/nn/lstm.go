@@ -72,13 +72,19 @@ func (l *LSTM) Step(tp *autodiff.Tape, x *autodiff.Var, s State) State {
 	return l.step(tp, x, s, l.biasSlices(tp))
 }
 
-// step is Step with the bias views hoisted out, computing each gate as
-// act(slice(x·Wx + h·Wh) + b_gate) through the fused kernel. Slicing the
-// pre-activation before adding the bias is bit-identical to the former
-// slice-after-AddRow formulation — the same two addends meet in the same
-// single addition — while touching each gate's quarter of the matrix once.
+// step is Step with the bias views hoisted out: it forms the packed
+// pre-activation z = x·Wx + h·Wh and hands it to gates.
 func (l *LSTM) step(tp *autodiff.Tape, x *autodiff.Var, s State, b gateBias) State {
 	z := tp.Add(tp.MatMul(x, l.Wx.Var), tp.MatMul(s.H, l.Wh.Var))
+	return l.gates(tp, z, s, b)
+}
+
+// gates computes each gate as act(slice(z) + b_gate) through the fused
+// kernel and advances the cell/hidden state. Slicing the pre-activation
+// before adding the bias is bit-identical to the former slice-after-AddRow
+// formulation — the same two addends meet in the same single addition —
+// while touching each gate's quarter of the matrix once.
+func (l *LSTM) gates(tp *autodiff.Tape, z *autodiff.Var, s State, b gateBias) State {
 	h := l.Hidden
 	i := tp.AddRowApply(tp.SliceCols(z, 0, h), b.i, autodiff.ActSigmoid)
 	f := tp.AddRowApply(tp.SliceCols(z, h, 2*h), b.f, autodiff.ActSigmoid)
@@ -99,6 +105,31 @@ func (l *LSTM) Forward(tp *autodiff.Tape, xs []*autodiff.Var) []*autodiff.Var {
 	hs := make([]*autodiff.Var, len(xs))
 	for t, x := range xs {
 		s = l.step(tp, x, s, b)
+		hs[t] = s.H
+	}
+	return hs
+}
+
+// ForwardStacked runs the recurrence over a sequence given as one stacked
+// (steps·batch)×in matrix whose row block t·batch..(t+1)·batch is the
+// step-t input. The input projection for every timestep is computed as a
+// single stacked matmul X·Wx up front — one large kernel call instead of
+// `steps` small ones — and each step adds its row window to the recurrent
+// term via AddRowsAt. Hidden states are bit-identical to Forward's: each
+// element is the same dot product followed by the same single addition,
+// and the matmul kernels are bit-stable across batch dimensions.
+func (l *LSTM) ForwardStacked(tp *autodiff.Tape, x *autodiff.Var, steps int) []*autodiff.Var {
+	if steps == 0 {
+		return nil
+	}
+	batch := x.Value.Rows / steps
+	zx := tp.MatMul(x, l.Wx.Var)
+	b := l.biasSlices(tp)
+	s := l.ZeroState(tp, batch)
+	hs := make([]*autodiff.Var, steps)
+	for t := 0; t < steps; t++ {
+		z := tp.AddRowsAt(zx, t*batch, tp.MatMul(s.H, l.Wh.Var))
+		s = l.gates(tp, z, s, b)
 		hs[t] = s.H
 	}
 	return hs

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"raal/internal/physical"
 	"raal/internal/sparksim"
+	"raal/internal/telemetry"
 )
 
 // BatchItem is one coalesced estimation request: a plan priced under its
@@ -28,10 +31,12 @@ type BatchRunFunc func(ctx context.Context, items []BatchItem) ([]float64, error
 type BatcherConfig struct {
 	// Run executes one coalesced batch (required).
 	Run BatchRunFunc
-	// Window is how long the first request of a batch waits for
+	// Window is the longest the first request of a batch may wait for
 	// batch-mates before the batch is flushed anyway (required > 0).
-	// This bounds the latency cost of coalescing: an isolated request
-	// pays at most Window extra.
+	// It is an upper bound, not a fixed delay: the actual wait adapts
+	// to the observed arrival rate, and a request with no other caller
+	// in flight dispatches immediately — batch-mates provably cannot
+	// arrive, so making it wait would only add latency.
 	Window time.Duration
 	// MaxSize flushes a batch immediately once it holds this many
 	// requests (required >= 2) — a full batch never waits out the window.
@@ -46,6 +51,16 @@ type BatcherConfig struct {
 // and the batch is scored as one Run call when the window expires or
 // MaxSize requests have gathered, whichever comes first. Each caller
 // blocks on a private future and gets exactly its own prediction back.
+//
+// The collection window is adaptive. Waiting only pays off when a
+// batch-mate can actually arrive, so a request whose caller is the only
+// one in flight is dispatched solo, immediately — under a single
+// closed-loop client a fixed window would serialize every request
+// behind a wait that can never be joined, collapsing throughput by the
+// Window-to-service-time ratio. When callers are concurrent, the wait
+// is sized from the observed inter-arrival rate (long enough for a full
+// batch to gather) and capped at Window, so sparse traffic is not
+// taxed the full window either.
 //
 // Batch members that are provably the same computation — the same plan
 // object under the same resource allocation, as a shared plan cache
@@ -68,6 +83,22 @@ type Batcher struct {
 	window time.Duration
 	max    int
 	met    *Metrics
+
+	// inflight counts callers currently inside Estimate. The dispatcher
+	// reads it to tell "batch-mates may still arrive" (some other caller
+	// is mid-flight) from "nobody can join" (dispatch solo, now).
+	inflight atomic.Int64
+	// lastCompanion is the UnixNano instant a caller last observed
+	// another caller in flight. Solo dispatch requires both inflight==1
+	// and no companion within the last window: closed-loop clients
+	// re-enter in bursts, and at the burst edge inflight dips to 1 for
+	// an instant even though batch-mates are about to arrive — without
+	// the hysteresis the first re-entrant would be stolen from every
+	// batch, leaving the rest one short of the size cap.
+	lastCompanion atomic.Int64
+	// soloFlushes is BatchFlushes.With("solo"), resolved once so the
+	// solo fast path skips the label lookup.
+	soloFlushes *telemetry.Counter
 
 	mu      sync.RWMutex // guards closed and the send on reqs
 	closed  bool
@@ -108,12 +139,13 @@ func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
 		met = &Metrics{}
 	}
 	b := &Batcher{
-		run:     cfg.Run,
-		window:  cfg.Window,
-		max:     cfg.MaxSize,
-		met:     met,
-		reqs:    make(chan *batchReq),
-		stopped: make(chan struct{}),
+		run:         cfg.Run,
+		window:      cfg.Window,
+		max:         cfg.MaxSize,
+		met:         met,
+		soloFlushes: met.BatchFlushes.With("solo"),
+		reqs:        make(chan *batchReq),
+		stopped:     make(chan struct{}),
 	}
 	go b.dispatch()
 	return b, nil
@@ -123,6 +155,21 @@ func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
 // ctx dies first). The signature matches EstimateFunc, so a Batcher
 // drops into the Server's deep path unchanged.
 func (b *Batcher) Estimate(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+	n := b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	if n > 1 {
+		b.lastCompanion.Store(time.Now().UnixNano())
+	} else if !b.companionsRecent(time.Now()) {
+		// Alone at this instant — but on a loaded box peer clients may
+		// simply not have been scheduled yet (a compute-bound solo run
+		// never yields, so overlap cannot form on its own). Yield once:
+		// any runnable peer gets the CPU and shows up in inflight; only
+		// if still alone after that is solo dispatch safe.
+		runtime.Gosched()
+		if b.inflight.Load() == 1 && !b.companionsRecent(time.Now()) {
+			return b.soloDispatch(ctx, p, res)
+		}
+	}
 	r := &batchReq{
 		item: BatchItem{Plan: p, Res: res},
 		ctx:  ctx,
@@ -143,6 +190,53 @@ func (b *Batcher) Estimate(ctx context.Context, p *physical.Plan, res sparksim.R
 	}
 }
 
+// companionsRecent reports whether another caller was observed in
+// flight within the last window — the signal that batch-mates are
+// likely to arrive even though none is in flight at this instant.
+func (b *Batcher) companionsRecent(now time.Time) bool {
+	last := b.lastCompanion.Load()
+	return last != 0 && now.UnixNano()-last <= int64(b.window)
+}
+
+// soloDispatch prices a request that has no other caller in flight:
+// batch-mates provably cannot arrive, so the request skips the
+// dispatcher entirely — no channel handoff, no collection window, no
+// flush goroutine, no narrowed batch context — and runs as a batch of
+// one on the caller's own goroutine and context. This is what keeps
+// single-client throughput at parity with the unbatched path instead
+// of paying the window per request (the low-concurrency collapse).
+func (b *Batcher) soloDispatch(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrDraining
+	}
+	// Register with the flush group under the read lock: Close flips
+	// closed under the write lock before waiting on the group, so it
+	// cannot miss a solo run admitted here.
+	b.flushes.Add(1)
+	b.mu.RUnlock()
+	defer b.flushes.Done()
+
+	b.soloFlushes.Inc()
+	b.met.BatchSize.Observe(1)
+	b.met.BatchWait.Observe(0)
+	// A batch of one needs none of score's machinery (dedup, scatter,
+	// bisection): run the estimator directly on the caller's goroutine.
+	preds, err := b.guardedRun(ctx, []BatchItem{{Plan: p, Res: res}})
+	if err == nil && len(preds) != 1 {
+		err = fmt.Errorf("%w: batch estimator returned %d prediction(s) for 1 request(s)",
+			ErrInternal, len(preds))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return preds[0], nil
+}
+
 // submit hands the request to the dispatcher. The read lock makes the
 // send safe against a concurrent Close (the channel is only closed under
 // the write lock); the dispatcher is always receiving, so the send never
@@ -161,13 +255,27 @@ func (b *Batcher) submit(r *batchReq) error {
 	}
 }
 
+// gapEWMAWeight is the denominator of the inter-arrival EWMA: each new
+// gap contributes 1/4, so the estimate tracks a rate change within a
+// few requests without whipsawing on a single outlier.
+const gapEWMAWeight = 4
+
+// minWindowFrac floors the adaptive wait at Window/minWindowFrac, so a
+// burst of near-simultaneous arrivals (measured gap ~0) still leaves
+// the window open long enough for stragglers to join.
+const minWindowFrac = 16
+
 // dispatch is the single collector goroutine: it owns the pending batch
-// and flushes it to a worker goroutine on window expiry, size cap, or
-// drain, so collection never stalls behind a running batch.
+// and flushes it to a worker goroutine on window expiry, size cap, solo
+// dispatch, or drain, so collection never stalls behind a running
+// batch.
 func (b *Batcher) dispatch() {
 	defer close(b.stopped)
 	var pending []*batchReq
-	var window <-chan time.Time // nil while no batch is open
+	var window <-chan time.Time // nil while no batch is collecting
+	var timer *time.Timer       // reused across batches; see arm
+	var lastArrival time.Time
+	var avgGap time.Duration // EWMA of request inter-arrival gaps
 	flush := func(trigger string) {
 		batch := pending
 		pending = nil
@@ -179,6 +287,25 @@ func (b *Batcher) dispatch() {
 			b.runBatch(batch)
 		}()
 	}
+	// arm opens the collection window for d. The timer object is reused
+	// across batches rather than allocated per batch: it may still hold
+	// an undelivered tick from a batch that flushed full (or early), so
+	// it is stopped and its channel drained before every reset — a stale
+	// tick can then never flush the wrong batch.
+	arm := func(d time.Duration) {
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+		}
+		window = timer.C
+	}
 	for {
 		select {
 		case r, ok := <-b.reqs:
@@ -188,20 +315,60 @@ func (b *Batcher) dispatch() {
 				}
 				return
 			}
-			pending = append(pending, r)
-			if len(pending) == 1 {
-				// A fresh timer per batch: a stale channel from a batch
-				// that flushed full is unreferenced once window is
-				// replaced, so it can never fire into the wrong batch.
-				window = time.After(b.window)
+			now := time.Now()
+			if !lastArrival.IsZero() {
+				gap := now.Sub(lastArrival)
+				if avgGap == 0 {
+					avgGap = gap
+				} else {
+					avgGap = ((gapEWMAWeight-1)*avgGap + gap) / gapEWMAWeight
+				}
 			}
+			lastArrival = now
+			pending = append(pending, r)
 			if len(pending) >= b.max {
 				flush("full")
+			} else if len(pending) == 1 {
+				if wait, ok := b.coalesceWait(avgGap); ok {
+					arm(wait)
+				} else {
+					flush("solo")
+				}
 			}
 		case <-window:
 			flush("window")
 		}
 	}
+}
+
+// coalesceWait decides how long the first request of a batch waits for
+// batch-mates. ok=false means waiting is pointless and the request must
+// dispatch solo: either its caller is the only one in flight — nobody
+// else can possibly join before the window expires, the pathology that
+// made a single closed-loop client pay the full window per request —
+// or arrivals are observed to be slower than the window itself. With
+// concurrent callers the wait is sized from the arrival rate: long
+// enough for a full batch to gather, floored against measurement noise,
+// and never more than the configured Window.
+func (b *Batcher) coalesceWait(avgGap time.Duration) (time.Duration, bool) {
+	if b.inflight.Load() <= 1 && !b.companionsRecent(time.Now()) {
+		return 0, false
+	}
+	if avgGap <= 0 {
+		// No gap estimate yet: fall back to the full window.
+		return b.window, true
+	}
+	if avgGap >= b.window {
+		return 0, false
+	}
+	wait := time.Duration(b.max-1) * avgGap
+	if floor := b.window / minWindowFrac; wait < floor {
+		wait = floor
+	}
+	if wait > b.window {
+		wait = b.window
+	}
+	return wait, true
 }
 
 // runBatch scores one flushed batch and delivers per-member results.
@@ -223,6 +390,13 @@ func (b *Batcher) runBatch(batch []*batchReq) {
 		return
 	}
 	b.met.BatchSize.Observe(float64(len(live)))
+
+	if len(live) == 1 {
+		// A batch of one needs no narrowed context: the member's own ctx
+		// already carries exactly its deadline and cancellation.
+		b.score(live[0].ctx, live)
+		return
+	}
 
 	bctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -57,6 +57,47 @@ func mustBatcher(t *testing.T, cfg BatcherConfig) *Batcher {
 	return b
 }
 
+// pathfinderSig marks the priming request used by gatedRun. Its batch
+// parks inside the estimator until the gate opens, keeping one caller
+// visibly in flight for the duration of a test body — so the dispatcher
+// collects subsequent requests under the window instead of
+// solo-dispatching the first one (the correct behavior when a caller
+// is genuinely alone, but not what coalescing tests want to exercise).
+const pathfinderSig = "\x00pathfinder"
+
+type runGate struct {
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+// gatedRun wraps run so the pathfinder request blocks inside the
+// estimator until the gate is opened; all other batches pass through.
+func gatedRun(run BatchRunFunc) (BatchRunFunc, *runGate) {
+	g := &runGate{started: make(chan struct{}), release: make(chan struct{})}
+	wrapped := func(ctx context.Context, items []BatchItem) ([]float64, error) {
+		if len(items) == 1 && items[0].Plan.Sig == pathfinderSig {
+			close(g.started)
+			<-g.release
+			return []float64{0}, nil
+		}
+		return run(ctx, items)
+	}
+	return wrapped, g
+}
+
+// holdOpen sends the pathfinder request and waits until it is parked
+// inside the estimator. From then until open (or test cleanup), at
+// least one other caller is in flight.
+func (g *runGate) holdOpen(t *testing.T, b *Batcher) {
+	t.Helper()
+	go b.Estimate(context.Background(), &physical.Plan{Sig: pathfinderSig}, testRes)
+	<-g.started
+	t.Cleanup(g.open)
+}
+
+func (g *runGate) open() { g.once.Do(func() { close(g.release) }) }
+
 // TestBatcherCoalescesToOneRun: K concurrent requests under a generous
 // window and MaxSize=K must coalesce into exactly one Run call, flushed
 // by the size cap, and every caller must get its own plan's answer back.
@@ -65,7 +106,9 @@ func TestBatcherCoalescesToOneRun(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	met := NewMetrics(reg)
 	er := &echoRun{}
-	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+	run, g := gatedRun(er.run)
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+	g.holdOpen(t, b)
 
 	var wg sync.WaitGroup
 	errs := make([]error, k)
@@ -93,21 +136,29 @@ func TestBatcherCoalescesToOneRun(t *testing.T) {
 	if met.BatchFlushes.With("full").Value() != 1 {
 		t.Fatalf("full flushes = %d, want 1", met.BatchFlushes.With("full").Value())
 	}
-	if met.BatchSize.Count() != 1 || met.BatchSize.Sum() != k {
-		t.Fatalf("batch size histogram: count %d sum %g, want 1/%d", met.BatchSize.Count(), met.BatchSize.Sum(), k)
+	if met.BatchFlushes.With("solo").Value() != 1 {
+		t.Fatalf("solo flushes = %d, want 1 (the pathfinder)", met.BatchFlushes.With("solo").Value())
 	}
-	if met.BatchWait.Count() != k {
-		t.Fatalf("batch wait observations = %d, want %d", met.BatchWait.Count(), k)
+	// The pathfinder's solo batch is observed too: k+1 requests over 2
+	// batches.
+	if met.BatchSize.Count() != 2 || met.BatchSize.Sum() != k+1 {
+		t.Fatalf("batch size histogram: count %d sum %g, want 2/%d", met.BatchSize.Count(), met.BatchSize.Sum(), k+1)
+	}
+	if met.BatchWait.Count() != k+1 {
+		t.Fatalf("batch wait observations = %d, want %d", met.BatchWait.Count(), k+1)
 	}
 }
 
-// TestBatcherWindowFlushesPartialBatch: a lone request must not wait for
-// batch-mates that never come — the window flushes it.
+// TestBatcherWindowFlushesPartialBatch: a request whose batch-mates
+// never materialize — even though another caller is in flight — must
+// not wait forever; the (adaptive) window flushes it.
 func TestBatcherWindowFlushesPartialBatch(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	met := NewMetrics(reg)
 	er := &echoRun{}
-	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 5 * time.Millisecond, MaxSize: 64, Metrics: met})
+	run, g := gatedRun(er.run)
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 250 * time.Millisecond, MaxSize: 64, Metrics: met})
+	g.holdOpen(t, b)
 
 	start := time.Now()
 	got, err := b.Estimate(context.Background(), &physical.Plan{Sig: "abc"}, testRes)
@@ -119,6 +170,36 @@ func TestBatcherWindowFlushesPartialBatch(t *testing.T) {
 	}
 	if met.BatchFlushes.With("window").Value() != 1 {
 		t.Fatalf("window flushes = %d, want 1", met.BatchFlushes.With("window").Value())
+	}
+}
+
+// TestBatcherSoloDispatch is the single-client regression test: a
+// request with no other caller in flight cannot gain batch-mates, so it
+// must dispatch immediately instead of paying the window. Under the
+// fixed window a closed-loop client waited Window per request,
+// collapsing throughput by the window-to-service-time ratio.
+func TestBatcherSoloDispatch(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	met := NewMetrics(reg)
+	er := &echoRun{}
+	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 3 * time.Second, MaxSize: 64, Metrics: met})
+
+	start := time.Now()
+	const n = 5
+	for i := 0; i < n; i++ {
+		got, err := b.Estimate(context.Background(), &physical.Plan{Sig: "abc"}, testRes)
+		if err != nil || got != 3 {
+			t.Fatalf("request %d: got %v, %v", i, got, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("%d sequential requests took %v — they waited on the window", n, elapsed)
+	}
+	if v := met.BatchFlushes.With("solo").Value(); v != n {
+		t.Fatalf("solo flushes = %d, want %d", v, n)
+	}
+	if sizes := er.batchSizes(); len(sizes) != n {
+		t.Fatalf("batches = %v, want %d single-request batches", sizes, n)
 	}
 }
 
@@ -142,7 +223,9 @@ func TestBatcherBisectsPoisonedBatch(t *testing.T) {
 		}
 		return out, nil
 	}
-	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+	grun, g := gatedRun(run)
+	b := mustBatcher(t, BatcherConfig{Run: grun, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+	g.holdOpen(t, b)
 
 	var wg sync.WaitGroup
 	errs := make([]error, k)
@@ -230,7 +313,9 @@ func TestBatcherDedupsIdenticalRequests(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	met := NewMetrics(reg)
 	er := &echoRun{}
-	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+	run, g := gatedRun(er.run)
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: k, Metrics: met})
+	g.holdOpen(t, b)
 
 	hot := &physical.Plan{Sig: "hh"}  // shared pointer: dedupable
 	twin := &physical.Plan{Sig: "hh"} // same Sig, distinct object: not dedupable
@@ -283,7 +368,11 @@ func TestBatcherDedupsIdenticalRequests(t *testing.T) {
 // without it.
 func TestBatcherCancelledMemberIsDropped(t *testing.T) {
 	er := &echoRun{}
-	b := mustBatcher(t, BatcherConfig{Run: er.run, Window: 60 * time.Millisecond, MaxSize: 64})
+	run, g := gatedRun(er.run)
+	// The window floor (Window/16 = 125ms) keeps the batch collecting
+	// well past the 10ms cancellation below.
+	b := mustBatcher(t, BatcherConfig{Run: run, Window: 2 * time.Second, MaxSize: 64})
+	g.holdOpen(t, b)
 
 	cctx, cancel := context.WithCancel(context.Background())
 	var wg sync.WaitGroup
@@ -331,7 +420,9 @@ func TestBatcherEarliestDeadlinePropagates(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
-	b := mustBatcher(t, BatcherConfig{Run: run, Window: 5 * time.Second, MaxSize: 2})
+	grun, g := gatedRun(run)
+	b := mustBatcher(t, BatcherConfig{Run: grun, Window: 5 * time.Second, MaxSize: 2})
+	g.holdOpen(t, b)
 
 	tight := time.Now().Add(50 * time.Millisecond)
 	tctx, tcancel := context.WithDeadline(context.Background(), tight)
@@ -369,6 +460,10 @@ func TestBatcherDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Pretend two callers are mid-flight so the dispatcher collects
+	// instead of solo-dispatching: the drain must find a pending batch.
+	b.inflight.Add(2)
+	defer b.inflight.Add(-2)
 	// Submit through the internal path: reqs is unbuffered, so submit
 	// returning guarantees the dispatcher holds the request in pending
 	// before Close runs — the drain MUST flush it.

@@ -11,7 +11,7 @@ var (
 	endpointValues = []string{"estimate", "select"}
 	statusValues   = []string{"200", "400", "408", "413", "429", "500", "503", "504"}
 	faultKinds     = []string{"delay", "error", "panic"}
-	flushTriggers  = []string{"full", "window", "drain"}
+	flushTriggers  = []string{"full", "window", "solo", "drain"}
 )
 
 // batchSizeBounds buckets coalesced batch sizes; the upper bound tracks
@@ -50,7 +50,9 @@ type Metrics struct {
 	// Micro-batching: BatchSize observes how many live requests each
 	// coalesced batch scored; BatchWait observes how long each request
 	// sat in the collection window; BatchFlushes counts batches by what
-	// flushed them (full / window / drain); BatchBisects counts failing
+	// flushed them (full / window / solo / drain — solo is a request
+	// dispatched immediately because no other caller was in flight);
+	// BatchBisects counts failing
 	// batches split in half to isolate a poisoned request; BatchDeduped
 	// counts requests answered by an identical in-flight batch-mate's
 	// computation (singleflight).

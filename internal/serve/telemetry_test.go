@@ -332,8 +332,9 @@ func TestMetricsBatchingExposition(t *testing.T) {
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
-	// One full wave (flushed by the size cap) plus one lone request
-	// (flushed by the window).
+	// One concurrent wave (flushed by the size cap, with any stragglers
+	// window- or solo-flushed) plus one lone request (solo-dispatched:
+	// no other caller in flight).
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
 		wg.Add(1)
@@ -346,6 +347,9 @@ func TestMetricsBatchingExposition(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	// Let the companion hysteresis lapse (one window) so the lone
+	// request below is provably alone and must solo-dispatch.
+	time.Sleep(3 * 20 * time.Millisecond)
 	resp, _, body := postEstimate(t, ts, "/estimate", `{"sql":"SELECT 1"}`)
 	if resp.StatusCode != 200 {
 		t.Fatalf("lone request failed: %d %s", resp.StatusCode, body)
@@ -368,11 +372,12 @@ func TestMetricsBatchingExposition(t *testing.T) {
 	}
 	full := promtest.Value(t, page, "raal_serve_batch_flushes_total", `trigger="full"`)
 	window := promtest.Value(t, page, "raal_serve_batch_flushes_total", `trigger="window"`)
-	if full+window != batches {
-		t.Fatalf("flush triggers full=%g window=%g do not cover %g batches", full, window, batches)
+	solo := promtest.Value(t, page, "raal_serve_batch_flushes_total", `trigger="solo"`)
+	if full+window+solo != batches {
+		t.Fatalf("flush triggers full=%g window=%g solo=%g do not cover %g batches", full, window, solo, batches)
 	}
-	if window < 1 {
-		t.Fatalf("lone request should have window-flushed, window=%g", window)
+	if solo < 1 {
+		t.Fatalf("lone request should have solo-dispatched, solo=%g", solo)
 	}
 	if got := promtest.Value(t, page, "raal_serve_batch_bisects_total", ""); got != 0 {
 		t.Fatalf("healthy workload bisected %g times", got)

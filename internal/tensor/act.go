@@ -1,0 +1,91 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Act selects an activation for the fused and specialized elementwise
+// kernels below. Keeping the enum at the tensor layer lets the hot
+// forward path dispatch once per matrix instead of calling a function
+// value per element — the autodiff tape maps its own activation enum
+// onto this one.
+type Act uint8
+
+// Supported activations. Formulas match the autodiff ops bit for bit:
+// sigmoid is 1/(1+e^−x), ReLU is max(0,x) with x>0 as the open branch.
+const (
+	ActNone Act = iota
+	ActSigmoid
+	ActTanh
+	ActReLU
+)
+
+func sigmoidScalar(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// SigmoidInto computes out = σ(m) elementwise. out may alias m.
+func SigmoidInto(out, m *Matrix) {
+	mustOutShape("sigmoid", out, m)
+	for i, v := range m.Data {
+		out.Data[i] = sigmoidScalar(v)
+	}
+}
+
+// TanhInto computes out = tanh(m) elementwise. out may alias m.
+func TanhInto(out, m *Matrix) {
+	mustOutShape("tanh", out, m)
+	for i, v := range m.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+}
+
+// ReLUInto computes out = max(0, m) elementwise. out may alias m.
+func ReLUInto(out, m *Matrix) {
+	mustOutShape("relu", out, m)
+	for i, v := range m.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
+		}
+	}
+}
+
+// AddRowActInto fuses bias broadcast and activation into one pass:
+// out[i][j] = act(m[i][j] + r[j]). It is the specialized-dispatch variant
+// of AddRowApplyInto — the activation is selected once per call, so the
+// inner loops run without a per-element indirect call. out may alias m.
+func AddRowActInto(out, m, r *Matrix, act Act) {
+	if r.Rows != 1 || r.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: addRowAct wants 1x%d, got %dx%d", m.Cols, r.Rows, r.Cols))
+	}
+	mustOutShape("addRowAct", out, m)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		switch act {
+		case ActNone:
+			for j, v := range r.Data {
+				dst[j] = src[j] + v
+			}
+		case ActSigmoid:
+			for j, v := range r.Data {
+				dst[j] = sigmoidScalar(src[j] + v)
+			}
+		case ActTanh:
+			for j, v := range r.Data {
+				dst[j] = math.Tanh(src[j] + v)
+			}
+		case ActReLU:
+			for j, v := range r.Data {
+				if x := src[j] + v; x > 0 {
+					dst[j] = x
+				} else {
+					dst[j] = 0
+				}
+			}
+		default:
+			panic(fmt.Sprintf("tensor: unknown Act(%d)", act))
+		}
+	}
+}

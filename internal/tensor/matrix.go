@@ -157,6 +157,11 @@ func MatMul(a, b *Matrix) *Matrix {
 
 // MatMulInto computes out = a×b, reusing out's storage. out must be
 // a.Rows×b.Cols and must not alias a or b.
+//
+// Every output element is a dot product accumulated in ascending k with
+// zero operands of a skipped, regardless of which internal kernel or how
+// many goroutines compute it — so results are bit-identical across the
+// register/streaming paths and across every SetMatMulWorkers setting.
 func MatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -165,13 +170,69 @@ func MatMulInto(out, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: matmul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
 	mustNotAlias("matmul", out, a, b)
-	out.Zero()
-	// ikj loop order: the inner loop streams through contiguous rows of b
-	// and out, which is the difference between ~0.2 and ~2 GFLOP/s here.
-	// The j loop is unrolled 4 wide; per output element the accumulation
-	// order over k is unchanged, so results are bit-identical to the
-	// scalar loop.
+	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+	if w := spanWorkers(a.Rows, flops); w > 1 {
+		parallelRanges(a.Rows, w, func(lo, hi int) {
+			matMulRows(rowView(out, lo, hi), rowView(a, lo, hi), b)
+		})
+		return
+	}
+	matMulRows(out, a, b)
+}
+
+// regPathMaxBFloats bounds len(b.Data) for the register-accumulator
+// matmul path, which re-reads all of b once per output row: past roughly
+// L2 size the re-reads stall and the streaming ikj kernel wins.
+const regPathMaxBFloats = 1 << 15
+
+// matMulRows is the serial out = a×b kernel over a contiguous row range
+// (the views built by MatMulInto). It picks between two loop orders that
+// produce bit-identical results (per element: ascending-k accumulation,
+// a-zeros skipped):
+//
+//   - register path (jik): four output columns accumulate in registers
+//     while a's row streams once; out is written exactly once, never
+//     re-read. Wins while b stays cache-resident, which covers every
+//     weight matrix in the cost model.
+//   - streaming path (ikj): the inner loop streams contiguous rows of b
+//     and out, trading out re-reads for sequential access to a large b.
+func matMulRows(out, a, b *Matrix) {
 	n := b.Cols
+	if len(b.Data) <= regPathMaxBFloats {
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*n : (i+1)*n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				var s0, s1, s2, s3 float64
+				idx := j
+				for _, av := range arow {
+					if av != 0 {
+						b4 := b.Data[idx : idx+4 : idx+4]
+						s0 += av * b4[0]
+						s1 += av * b4[1]
+						s2 += av * b4[2]
+						s3 += av * b4[3]
+					}
+					idx += n
+				}
+				orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+			}
+			for ; j < n; j++ {
+				var s float64
+				idx := j
+				for _, av := range arow {
+					if av != 0 {
+						s += av * b.Data[idx]
+					}
+					idx += n
+				}
+				orow[j] = s
+			}
+		}
+		return
+	}
+	out.Zero()
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*n : (i+1)*n]
@@ -213,10 +274,22 @@ func MatMulTransBInto(out, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: matmulTransB out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
 	mustNotAlias("matmulTransB", out, a, b)
-	// Each output row is a set of dot products against rows of b; running
-	// four of them at once keeps four accumulators in registers while a's
-	// row streams through cache once per block. Every accumulator still
-	// sums in ascending k, so results are bit-identical to the scalar loop.
+	flops := int64(a.Rows) * int64(a.Cols) * int64(b.Rows)
+	if w := spanWorkers(a.Rows, flops); w > 1 {
+		parallelRanges(a.Rows, w, func(lo, hi int) {
+			matMulTransBRows(rowView(out, lo, hi), rowView(a, lo, hi), b)
+		})
+		return
+	}
+	matMulTransBRows(out, a, b)
+}
+
+// matMulTransBRows is the serial out = a×bᵀ kernel over a contiguous row
+// range. Each output row is a set of dot products against rows of b;
+// running four of them at once keeps four accumulators in registers while
+// a's row streams through cache once per block. Every accumulator still
+// sums in ascending k, so results are bit-identical to the scalar loop.
+func matMulTransBRows(out, a, b *Matrix) {
 	bc := b.Cols
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -265,8 +338,25 @@ func MatMulTransAInto(out, a, b *Matrix) {
 	}
 	mustNotAlias("matmulTransA", out, a, b)
 	out.Zero()
-	// Same k-outer accumulation as the allocating version, with the
-	// contiguous j loop unrolled 4 wide (see MatMulInto).
+	// The k-outer loop is a reduction over out's rows, so a row split
+	// would interleave accumulation orders; splitting over output
+	// *columns* keeps each element's ascending-k sum intact — workers own
+	// disjoint column ranges and results stay bit-identical to serial.
+	n := b.Cols
+	flops := int64(a.Rows) * int64(a.Cols) * int64(n)
+	if w := spanWorkers(n, flops); w > 1 {
+		parallelRanges(n, w, func(jlo, jhi int) {
+			matMulTransACols(out, a, b, jlo, jhi)
+		})
+		return
+	}
+	matMulTransACols(out, a, b, 0, n)
+}
+
+// matMulTransACols accumulates out[:, jlo:jhi) of out = aᵀ×b. Same
+// k-outer accumulation as the allocating version, with the contiguous j
+// loop unrolled 4 wide (see MatMulInto). out must be pre-zeroed.
+func matMulTransACols(out, a, b *Matrix, jlo, jhi int) {
 	n := b.Cols
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
@@ -276,8 +366,8 @@ func MatMulTransAInto(out, a, b *Matrix) {
 				continue
 			}
 			orow := out.Data[i*n : (i+1)*n]
-			j := 0
-			for ; j+4 <= n; j += 4 {
+			j := jlo
+			for ; j+4 <= jhi; j += 4 {
 				b4 := brow[j : j+4 : j+4]
 				o4 := orow[j : j+4 : j+4]
 				o4[0] += av * b4[0]
@@ -285,7 +375,7 @@ func MatMulTransAInto(out, a, b *Matrix) {
 				o4[2] += av * b4[2]
 				o4[3] += av * b4[3]
 			}
-			for ; j < n; j++ {
+			for ; j < jhi; j++ {
 				orow[j] += av * brow[j]
 			}
 		}
