@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel benchjson bench-serve vet fuzz cover check
+.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet chaos vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,12 @@ test: build
 # internal/serve includes TestConcurrentRequestsRaceClean and
 # TestBatcherRaceStress (mixed-deadline clients hammering the
 # micro-batch coalescer through a concurrent Close);
-# internal/telemetry includes concurrent writer/scraper tests. Use
-# `make race-all` for the (slow) full sweep.
+# internal/telemetry includes concurrent writer/scraper tests;
+# internal/fleet includes the chaos suite (hedged requests racing
+# drains and kills) and internal/backoff the context-cancellation
+# property tests. Use `make race-all` for the (slow) full sweep.
 race:
-	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry .
+	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry ./internal/fleet ./internal/backoff .
 
 # The experiments package replays full training runs; under the race
 # detector that exceeds go test's default 10m per-package timeout on
@@ -52,6 +54,17 @@ benchjson:
 # count (results/BENCH_serve.json).
 bench-serve:
 	$(GO) run ./cmd/raalbench -exp serve -json -outdir results
+
+# Fleet router scaling 1→N replicas plus kill-mid-run availability
+# (results/BENCH_fleet.json).
+bench-fleet:
+	$(GO) run ./cmd/raalbench -exp fleet -json -outdir results
+
+# Chaos drills: the fault-injected fleet suite (seeded FaultConfig
+# replicas, mid-run kills, drain-during-hedge) under the race detector.
+# Deterministic — a failure here is a real robustness bug, not flake.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/fleet
 
 vet:
 	$(GO) vet ./...

@@ -70,6 +70,13 @@ func (c *encodeCache) len() int {
 	return c.ll.Len()
 }
 
+// PlanFingerprint returns the canonical (plan, resources) fingerprint —
+// the exact key the encode cache memoizes under. The fleet router
+// consistent-hashes on it so repeated submissions of the same plan under
+// the same allocation land on the same replica, whose encode cache and
+// micro-batcher are already warm for that key.
+func PlanFingerprint(p *Plan, res Resources) string { return planKey(p, res) }
+
 // planKey fingerprints everything the encoder reads from a (plan,
 // resources) pair: the full resource feature vector and, per node in
 // execution order, its identity, rendered statement (which folds in the

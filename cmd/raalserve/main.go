@@ -11,13 +11,27 @@
 //	raalserve -model model.raal \
 //	          -batch-window 2ms -batch-max 16         # micro-batch concurrent requests
 //	raalserve -admin :8081 -pprof                     # admin listener + profiling
+//	raalserve -route "http://10.0.0.7:8080,http://10.0.0.8:8080"
+//	                                                  # fleet router over replicas
+//	raalserve -fault-seed 42 -fault-error 0.2         # chaos drill: seeded faults
+//
+// The same binary runs as a replica (default) or, with -route, as the
+// fleet front router (internal/fleet): consistent-hash affinity on the
+// canonical plan fingerprint, active health checking, per-replica
+// circuit breakers, bounded retries, tail hedging, and degradation to
+// the local GPSJ estimate when no replica can answer.
+//
+// The -fault-* flags arm deterministic fault injection in the replica's
+// deep path (serve.FaultConfig) for chaos drills: a fixed -fault-seed
+// replays the exact same failure schedule run after run.
 //
 // Endpoints:
 //
 //	POST /estimate  {"sql": "...", "executors": 2, "cores": 2, "mem_mb": 4096}
 //	POST /select    same body; prices candidate plans, returns the argmin
 //	GET  /healthz   liveness
-//	GET  /readyz    readiness (503 once draining)
+//	GET  /readyz    readiness (503 once draining or saturated)
+//	GET  /fleetz    router only: live per-replica health/breaker state
 //	GET  /metrics   Prometheus text exposition (serving + model telemetry)
 //
 // The optional -admin listener serves /metrics (and, with -pprof, the
@@ -38,11 +52,13 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"raal"
+	"raal/internal/fleet"
 	"raal/internal/physical"
 	"raal/internal/serve"
 	"raal/internal/sparksim"
@@ -68,6 +84,15 @@ func main() {
 		batchWin   = flag.Duration("batch-window", 0, "micro-batching collection window; concurrent requests within it coalesce into one forward pass (0 disables batching)")
 		batchMax   = flag.Int("batch-max", 0, "micro-batch size cap; a full batch flushes before the window expires (<= 1 disables batching; requires -model)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+
+		route      = flag.String("route", "", `run as the fleet router over comma-separated replicas ("[id=]url,..."); all estimation flags except the benchmark ones are ignored`)
+		hedgeAfter = flag.Duration("hedge-after", 0, "router: fixed tail-hedging trigger (0 adapts to the observed p99; negative disables hedging)")
+
+		faultSeed     = flag.Int64("fault-seed", 1, "fault injection: seed for the deterministic failure schedule")
+		faultPanic    = flag.Float64("fault-panic", 0, "fault injection: per-request probability the deep path panics")
+		faultError    = flag.Float64("fault-error", 0, "fault injection: per-request probability the deep path errors")
+		faultDelay    = flag.Float64("fault-delay", 0, "fault injection: per-request probability the deep path stalls")
+		faultDelayDur = flag.Duration("fault-delay-dur", 50*time.Millisecond, "fault injection: stall duration for injected delays")
 	)
 	flag.Parse()
 
@@ -82,6 +107,20 @@ func main() {
 	}
 	if *pprofOn && *adminAddr == "" {
 		fatal("-pprof requires -admin (profiling is only served on the admin listener)")
+	}
+
+	if *route != "" {
+		runRouter(logger, fatal, routerOpts{
+			spec:       *route,
+			addr:       *addr,
+			bench:      *bench,
+			scale:      *scale,
+			seed:       *seed,
+			candidates: *candidates,
+			hedgeAfter: *hedgeAfter,
+			drainGrace: *drainGrace,
+		})
+		return
 	}
 
 	policy := serve.FallbackOnDeadline
@@ -111,6 +150,18 @@ func main() {
 		Deadline:    *deadline,
 		OnDeadline:  policy,
 		Metrics:     met,
+	}
+	if *faultPanic > 0 || *faultError > 0 || *faultDelay > 0 {
+		cfg.Faults = &serve.FaultConfig{
+			Seed:      *faultSeed,
+			PanicProb: *faultPanic,
+			ErrorProb: *faultError,
+			DelayProb: *faultDelay,
+			Delay:     *faultDelayDur,
+		}
+		logger.Warn("fault injection armed — this replica will deliberately fail",
+			"seed", *faultSeed, "panic_prob", *faultPanic, "error_prob", *faultError,
+			"delay_prob", *faultDelay, "delay", *faultDelayDur)
 	}
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
@@ -224,6 +275,115 @@ func main() {
 		}
 	}
 	logger.Info("stopped")
+}
+
+// routerOpts carries the flag subset the router mode consumes.
+type routerOpts struct {
+	spec       string
+	addr       string
+	bench      string
+	scale      float64
+	seed       int64
+	candidates int
+	hedgeAfter time.Duration
+	drainGrace time.Duration
+}
+
+// runRouter is the -route mode: the same binary as the fleet front
+// router. It plans locally (to compute the affinity fingerprint and to
+// price the degrade path) but delegates all deep estimation to the
+// replicas.
+func runRouter(logger *slog.Logger, fatal func(string, ...any), opts routerOpts) {
+	replicas, err := parseReplicas(opts.spec)
+	if err != nil {
+		fatal("parsing -route", "error", err)
+	}
+	sys, err := raal.Open(raal.Benchmark(opts.bench), opts.scale, opts.seed)
+	if err != nil {
+		fatal("opening benchmark", "error", err)
+	}
+	gpsj := raal.NewGPSJBaseline()
+
+	reg := telemetry.NewRegistry()
+	ids := make([]string, len(replicas))
+	for i, r := range replicas {
+		ids[i] = r.ID
+	}
+	met := fleet.NewMetrics(reg, ids)
+
+	var planMu sync.Mutex
+	router, err := fleet.New(fleet.Config{
+		Replicas: replicas,
+		Planner: func(sql string) ([]*physical.Plan, error) {
+			planMu.Lock()
+			defer planMu.Unlock()
+			return sys.Plan(sql)
+		},
+		// The encode cache's exact key: router affinity and replica
+		// cache locality agree byte-for-byte.
+		Fingerprint: raal.PlanFingerprint,
+		Fallback: func(_ context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+			return gpsj.Estimate(p, res), nil
+		},
+		MaxCandidates: opts.candidates,
+		HedgeAfter:    opts.hedgeAfter,
+		Seed:          opts.seed,
+		Metrics:       met,
+		Logger:        logger,
+	})
+	if err != nil {
+		fatal("building router", "error", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              opts.addr,
+		Handler:           router,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		logger.Info("routing", "addr", opts.addr, "replicas", len(replicas),
+			"hedge_after", opts.hedgeAfter)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("listener failed", "error", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	logger.Info("router stopping", "signal", sig.String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.drainGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Warn("http shutdown", "error", err)
+	}
+	router.Close()
+	logger.Info("stopped")
+}
+
+// parseReplicas parses the -route spec: comma-separated entries, each
+// "id=url" or a bare url (IDs default to r0, r1, ...).
+func parseReplicas(spec string) ([]fleet.Replica, error) {
+	var out []fleet.Replica
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url := fmt.Sprintf("r%d", i), entry
+		if eq := strings.Index(entry, "="); eq > 0 && !strings.Contains(entry[:eq], "/") {
+			id, url = entry[:eq], entry[eq+1:]
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		out = append(out, fleet.Replica{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-route needs at least one replica url")
+	}
+	return out, nil
 }
 
 // newLogger builds the process logger at the requested verbosity.

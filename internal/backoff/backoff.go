@@ -1,0 +1,136 @@
+// Package backoff is the shared retry-delay policy: capped exponential
+// growth with equal jitter, plus a context-aware sleep and a small retry
+// driver. The fleet router, and any future client of a flaky dependency,
+// use it instead of hand-rolling the same three loops.
+//
+// The schedule separates the deterministic part from the random part so
+// both are testable: Bound(attempt) is the pre-jitter ceiling —
+// monotone nondecreasing in attempt and capped at Cap — and
+// Delay(attempt) draws uniformly from [Bound/2, Bound] ("equal
+// jitter"), which decorrelates retry storms across clients while never
+// collapsing the wait to zero.
+package backoff
+
+import (
+	"context"
+	"time"
+)
+
+// Default schedule: 10ms, 20ms, 40ms, ... capped at 1s.
+const (
+	DefaultBase   = 10 * time.Millisecond
+	DefaultCap    = time.Second
+	DefaultFactor = 2.0
+)
+
+// Policy describes a jittered exponential backoff schedule. The zero
+// value is usable and means the defaults above.
+type Policy struct {
+	// Base is the pre-jitter bound for attempt 0.
+	Base time.Duration
+	// Cap bounds every delay; growth saturates here.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiple (must be >= 1 to keep
+	// Bound monotone; values below 1 are treated as the default).
+	Factor float64
+}
+
+// norm fills zero fields with the defaults.
+func (p Policy) norm() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultCap
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultFactor
+	}
+	if p.Base > p.Cap {
+		p.Base = p.Cap
+	}
+	return p
+}
+
+// Bound returns the deterministic pre-jitter delay ceiling for the
+// 0-based attempt: min(Cap, Base·Factor^attempt). It is monotone
+// nondecreasing in attempt and never exceeds Cap — the properties the
+// retry loop's liveness argument rests on, and the ones the property
+// tests pin.
+func (p Policy) Bound(attempt int) time.Duration {
+	p = p.norm()
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(p.Base)
+	cap := float64(p.Cap)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= cap {
+			return p.Cap
+		}
+	}
+	if d >= cap {
+		return p.Cap
+	}
+	return time.Duration(d)
+}
+
+// Delay draws the jittered delay for the attempt: uniform in
+// [Bound/2, Bound]. rnd supplies uniform randomness in [0, 1) — pass a
+// seeded source for deterministic tests; nil means no jitter (the full
+// bound).
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	b := p.Bound(attempt)
+	if rnd == nil {
+		return b
+	}
+	half := b / 2
+	return half + time.Duration(rnd()*float64(b-half))
+}
+
+// Sleep waits for d or until ctx is done, whichever comes first,
+// returning ctx.Err() in the latter case. d <= 0 returns immediately
+// (after a cancellation check).
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry runs fn up to attempts times, sleeping the jittered delay
+// between failures. It returns nil on the first success, ctx's error as
+// soon as the context dies (including mid-sleep), and otherwise the last
+// attempt's error. attempts < 1 is treated as 1.
+func Retry(ctx context.Context, attempts int, p Policy, rnd func() float64, fn func(context.Context) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = fn(ctx); err == nil {
+			return nil
+		}
+		if i == attempts-1 {
+			break
+		}
+		if serr := Sleep(ctx, p.Delay(i, rnd)); serr != nil {
+			return serr
+		}
+	}
+	return err
+}

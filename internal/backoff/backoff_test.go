@@ -1,0 +1,154 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomPolicy draws an arbitrary (possibly degenerate) policy; norm()
+// must make every one of them lawful.
+func randomPolicy(rng *rand.Rand) Policy {
+	durs := []time.Duration{0, time.Microsecond, time.Millisecond,
+		10 * time.Millisecond, 100 * time.Millisecond, time.Second, 10 * time.Second}
+	return Policy{
+		Base:   durs[rng.Intn(len(durs))],
+		Cap:    durs[rng.Intn(len(durs))],
+		Factor: []float64{0, 0.5, 1, 1.5, 2, 3, 10}[rng.Intn(7)],
+	}
+}
+
+// Property: Bound is monotone nondecreasing in attempt and never
+// exceeds Cap, for every policy shape.
+func TestBoundMonotoneAndCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPolicy(rng)
+		cap := p.norm().Cap
+		prev := time.Duration(-1)
+		for attempt := 0; attempt < 64; attempt++ {
+			b := p.Bound(attempt)
+			if b < prev {
+				t.Fatalf("policy %+v: Bound(%d)=%v < Bound(%d)=%v (not monotone)",
+					p, attempt, b, attempt-1, prev)
+			}
+			if b > cap {
+				t.Fatalf("policy %+v: Bound(%d)=%v exceeds cap %v", p, attempt, b, cap)
+			}
+			if b <= 0 {
+				t.Fatalf("policy %+v: Bound(%d)=%v not positive", p, attempt, b)
+			}
+			prev = b
+		}
+		// Growing schedules must saturate exactly at the cap (Factor 1 is
+		// a lawful constant schedule and stays at Base).
+		if p.norm().Factor > 1 {
+			if got := p.Bound(1000); got != cap {
+				t.Fatalf("policy %+v: Bound(1000)=%v, want cap %v", p, got, cap)
+			}
+		}
+	}
+}
+
+// Property: the jittered delay stays inside [Bound/2, Bound] (and hence
+// under the cap) for any uniform draw.
+func TestDelayWithinJitterEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		p := randomPolicy(rng)
+		attempt := rng.Intn(40)
+		b := p.Bound(attempt)
+		d := p.Delay(attempt, rng.Float64)
+		if d < b/2 || d > b {
+			t.Fatalf("policy %+v attempt %d: Delay=%v outside [%v, %v]", p, attempt, d, b/2, b)
+		}
+		if d > p.norm().Cap {
+			t.Fatalf("policy %+v: Delay=%v exceeds cap", p, d)
+		}
+	}
+}
+
+func TestDelayNilRandIsFullBound(t *testing.T) {
+	p := Policy{Base: 8 * time.Millisecond, Cap: time.Second, Factor: 2}
+	if got, want := p.Delay(2, nil), 32*time.Millisecond; got != want {
+		t.Fatalf("Delay(2, nil) = %v, want %v", got, want)
+	}
+}
+
+// Property: Sleep returns promptly once the context is cancelled, no
+// matter how long the requested delay is.
+func TestSleepReturnsPromptlyOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep took %v after cancellation; want prompt return", elapsed)
+	}
+}
+
+func TestSleepCancelledBeforeCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on dead context = %v, want context.Canceled", err)
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 5, Policy{Base: time.Microsecond}, nil,
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestRetryReturnsLastError(t *testing.T) {
+	want := errors.New("persistent")
+	calls := 0
+	err := Retry(context.Background(), 4, Policy{Base: time.Microsecond}, nil,
+		func(context.Context) error { calls++; return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("Retry = %v, want %v", err, want)
+	}
+	if calls != 4 {
+		t.Fatalf("fn called %d times, want 4", calls)
+	}
+}
+
+// Property: a context cancelled mid-backoff aborts the retry loop
+// promptly with the context's error, not the fn error.
+func TestRetryAbortsMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Retry(ctx, 3, Policy{Base: time.Hour, Cap: time.Hour}, nil,
+		func(context.Context) error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Retry took %v after cancellation; want prompt return", elapsed)
+	}
+}

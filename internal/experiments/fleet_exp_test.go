@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fleet experiment is itself a chaos drill (it kills a replica
+// mid-run), so the smoke test checks the invariants the report exists
+// to demonstrate rather than any particular throughput number.
+func TestFleetExperimentInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet experiment spins up real HTTP fleets")
+	}
+	res, err := Fleet(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benchmarks) != len(fleetReplicaLevels)+1 {
+		t.Fatalf("got %d rows, want %d scaling + 1 kill", len(res.Benchmarks), len(fleetReplicaLevels)+1)
+	}
+	var sawKill bool
+	for _, b := range res.Benchmarks {
+		if b.Availability != 1.0 {
+			t.Errorf("%s: availability = %v, want 1.0 (zero lost requests)", b.Name, b.Availability)
+		}
+		if b.N != fleetTotalRequests/fleetClients*fleetClients {
+			t.Errorf("%s: N = %d", b.Name, b.N)
+		}
+		if b.QPS <= 0 || b.P99Ms < b.P50Ms {
+			t.Errorf("%s: implausible latency summary: %+v", b.Name, b)
+		}
+		if b.Kill == "mid-run" {
+			sawKill = true
+			if b.Replicas != 3 {
+				t.Errorf("kill cell ran with %d replicas, want 3", b.Replicas)
+			}
+		}
+	}
+	if !sawKill {
+		t.Fatal("no kill-mid-run row")
+	}
+
+	var text, js bytes.Buffer
+	res.Print(&text)
+	if err := res.JSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet/replicas=1", "kill=mid-run", "avail"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, text.String())
+		}
+	}
+	if !strings.Contains(js.String(), `"availability": 1`) {
+		t.Errorf("JSON missing availability field:\n%s", js.String())
+	}
+}

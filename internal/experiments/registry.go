@@ -65,6 +65,8 @@ func Registry() []Runner {
 			Run: func(o Options) (Report, error) { return Micro(o) }},
 		{Name: "serve", Description: "extra: serving throughput, micro-batching on vs off per client count",
 			Run: func(o Options) (Report, error) { return Serve(o) }},
+		{Name: "fleet", Description: "extra: fleet router scaling 1→N replicas + kill-mid-run availability",
+			Run: func(o Options) (Report, error) { return Fleet(o) }},
 	}
 }
 

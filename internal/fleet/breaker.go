@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-replica circuit breaker driven by request outcomes
+// (the health checker sees probes; the breaker sees real traffic, so it
+// reacts within a handful of failed requests instead of a probe
+// interval). Closed counts consecutive failures and opens at the
+// threshold; open sheds every request until the cooldown elapses, then
+// admits exactly one half-open probe; the probe's outcome closes or
+// re-opens the breaker.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	now       func() time.Time // injectable for deterministic tests
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may be sent. In the open state it
+// transitions to half-open once the cooldown has elapsed and admits that
+// single caller as the probe; every other caller is shed until the probe
+// resolves via Success or Failure.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: the probe slot is taken
+		return false
+	}
+}
+
+// Success records a served request: closed resets the failure streak,
+// half-open closes the breaker. Returns true when the breaker closed
+// from half-open (a recovery event worth logging).
+func (b *breaker) Success() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state == breakerHalfOpen || b.state == breakerOpen {
+		b.state = breakerClosed
+		return true
+	}
+	return false
+}
+
+// Failure records a failed request and returns true when it opened the
+// breaker (from closed at the threshold, or a failed half-open probe).
+func (b *breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			return true
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// State returns the current state.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

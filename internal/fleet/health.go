@@ -1,0 +1,124 @@
+package fleet
+
+import (
+	"sync/atomic"
+)
+
+// HealthState is a replica's position in the health lifecycle the
+// router's active checker drives:
+//
+//	Healthy ──fail──▶ Suspect ──DownAfter consecutive fails──▶ Down
+//	   ▲                 │ ok                                    │
+//	   └─────────────────┘            UpAfter consecutive oks ──▶ Recovered
+//	   ▲                                                         │
+//	   └── ok ── Recovered ◀─────────────────────────────────────┘
+//	              │ fail
+//	              ▼
+//	             Down
+//
+// The hysteresis is asymmetric on purpose: a healthy replica gets
+// DownAfter probes of grace before it stops receiving traffic (blips
+// should not move keys off their warm replica), but a freshly recovered
+// replica goes straight back Down on a single failure (a flapping
+// process must prove real stability before it regains full trust).
+type HealthState int32
+
+const (
+	// Down replicas receive no traffic and no hedges.
+	Down HealthState = iota
+	// Suspect replicas have missed at least one probe but still serve —
+	// the grace period that keeps blips from moving keys.
+	Suspect
+	// Recovered replicas just returned from Down: routable, but one
+	// probe failure sends them straight back.
+	Recovered
+	// Healthy replicas have a clean recent probe history.
+	Healthy
+)
+
+// String names the state for logs and the /fleetz dump.
+func (s HealthState) String() string {
+	switch s {
+	case Down:
+		return "down"
+	case Suspect:
+		return "suspect"
+	case Recovered:
+		return "recovered"
+	case Healthy:
+		return "healthy"
+	}
+	return "unknown"
+}
+
+// Routable reports whether the router may send requests to a replica in
+// this state. Everything but Down serves; Down replicas are skipped on
+// the ring walk and their keys fail over to the next position.
+func (s HealthState) Routable() bool { return s != Down }
+
+// healthFSM applies probe outcomes with hysteresis. Probe bookkeeping
+// (consecutive fail/ok streaks) belongs to the single checker goroutine;
+// the state itself is atomic so the request path reads it lock-free.
+type healthFSM struct {
+	state     atomic.Int32
+	downAfter int // consecutive fails before Suspect → Down
+	upAfter   int // consecutive oks before Down → Recovered
+
+	fails int // checker-goroutine-local streaks
+	oks   int
+}
+
+func newHealthFSM(downAfter, upAfter int) *healthFSM {
+	if downAfter < 1 {
+		downAfter = 3
+	}
+	if upAfter < 1 {
+		upAfter = 2
+	}
+	f := &healthFSM{downAfter: downAfter, upAfter: upAfter}
+	f.state.Store(int32(Healthy))
+	return f
+}
+
+// State returns the current state (safe from any goroutine).
+func (f *healthFSM) State() HealthState { return HealthState(f.state.Load()) }
+
+// observe folds one probe outcome in and returns (previous, current) so
+// the caller can emit transition metrics and logs. Only the checker
+// goroutine calls it.
+func (f *healthFSM) observe(ok bool) (prev, cur HealthState) {
+	prev = f.State()
+	cur = prev
+	if ok {
+		f.fails = 0
+		f.oks++
+		switch prev {
+		case Suspect:
+			cur = Healthy // the blip passed
+		case Down:
+			if f.oks >= f.upAfter {
+				cur = Recovered
+				f.oks = 0
+			}
+		case Recovered:
+			cur = Healthy // one more clean probe restores full trust
+		}
+	} else {
+		f.oks = 0
+		f.fails++
+		switch prev {
+		case Healthy:
+			cur = Suspect
+		case Suspect:
+			if f.fails >= f.downAfter {
+				cur = Down
+			}
+		case Recovered:
+			cur = Down // no second chances while rebuilding trust
+		}
+	}
+	if cur != prev {
+		f.state.Store(int32(cur))
+	}
+	return prev, cur
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// step asserts one probe outcome produces the expected state.
+func step(t *testing.T, f *healthFSM, ok bool, want HealthState) {
+	t.Helper()
+	_, cur := f.observe(ok)
+	if cur != want {
+		t.Fatalf("after observe(%v): state = %v, want %v", ok, cur, want)
+	}
+}
+
+func TestHealthLifecycleHysteresis(t *testing.T) {
+	f := newHealthFSM(3, 2)
+	if f.State() != Healthy {
+		t.Fatalf("initial state = %v, want Healthy", f.State())
+	}
+
+	// One blip: healthy → suspect, still routable, next ok restores.
+	step(t, f, false, Suspect)
+	if !f.State().Routable() {
+		t.Fatal("suspect replica must stay routable (blip grace)")
+	}
+	step(t, f, true, Healthy)
+
+	// Sustained failure: suspect for DownAfter-1 more fails, then down.
+	step(t, f, false, Suspect)
+	step(t, f, false, Suspect)
+	step(t, f, false, Down)
+	if f.State().Routable() {
+		t.Fatal("down replica must not be routable")
+	}
+
+	// Recovery needs UpAfter consecutive successes, then one more for
+	// full trust.
+	step(t, f, true, Down)
+	step(t, f, true, Recovered)
+	if !f.State().Routable() {
+		t.Fatal("recovered replica must be routable")
+	}
+	step(t, f, true, Healthy)
+}
+
+// A recovered replica that fails again goes straight back down — no
+// three-probe grace while it is still rebuilding trust.
+func TestHealthRecoveredFailsFast(t *testing.T) {
+	f := newHealthFSM(3, 2)
+	step(t, f, false, Suspect)
+	step(t, f, false, Suspect)
+	step(t, f, false, Down)
+	step(t, f, true, Down)
+	step(t, f, true, Recovered)
+	step(t, f, false, Down)
+}
+
+// An interrupted success streak must not count toward recovery.
+func TestHealthRecoveryStreakResets(t *testing.T) {
+	f := newHealthFSM(2, 3)
+	step(t, f, false, Suspect)
+	step(t, f, false, Down)
+	step(t, f, true, Down)
+	step(t, f, true, Down)
+	step(t, f, false, Down) // streak broken at 2 of 3
+	step(t, f, true, Down)
+	step(t, f, true, Down)
+	step(t, f, true, Recovered)
+}
+
+func TestHealthStateStrings(t *testing.T) {
+	for s, want := range map[HealthState]string{
+		Down: "down", Suspect: "suspect", Recovered: "recovered", Healthy: "healthy",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestBreakerOpensAtThresholdAndSheds(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(3, 100*time.Millisecond, clock)
+
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	if b.Failure() {
+		t.Fatal("first failure must not open")
+	}
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("breaker below threshold must allow")
+	}
+	if !b.Failure() {
+		t.Fatal("third consecutive failure must open")
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside cooldown must shed")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(1, 100*time.Millisecond, clock)
+	b.Failure() // opens
+
+	now = now.Add(50 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown not elapsed: must shed")
+	}
+	now = now.Add(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: must admit the half-open probe")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker must admit exactly one probe")
+	}
+
+	// Failed probe reopens and restarts the cooldown.
+	if !b.Failure() {
+		t.Fatal("failed half-open probe must report reopening")
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker must shed again")
+	}
+	now = now.Add(110 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second cooldown elapsed: must admit another probe")
+	}
+	// Successful probe closes.
+	if !b.Success() {
+		t.Fatal("successful probe must report closing")
+	}
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("closed breaker must allow freely")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(2, time.Second, nil)
+	b.Failure()
+	b.Success()
+	if b.Failure() {
+		t.Fatal("streak was reset; one failure must not open")
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	tr := newLatencyTracker(128, 0.99)
+	if q := tr.Quantile(); q != 0 {
+		t.Fatalf("empty tracker quantile = %v, want 0", q)
+	}
+	for i := 1; i <= 100; i++ {
+		tr.Observe(time.Duration(i) * time.Millisecond)
+	}
+	q := tr.Quantile()
+	if q < 90*time.Millisecond || q > 100*time.Millisecond {
+		t.Fatalf("p99 of 1..100ms = %v, want in [90ms, 100ms]", q)
+	}
+	// The window ages by count: a flood of fast samples pulls it down.
+	for i := 0; i < 256; i++ {
+		tr.Observe(time.Millisecond)
+	}
+	if q := tr.Quantile(); q > 2*time.Millisecond {
+		t.Fatalf("after fast flood, p99 = %v, want ~1ms", q)
+	}
+}

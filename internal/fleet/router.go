@@ -1,0 +1,787 @@
+// Package fleet scales raalserve past one process: a front router that
+// consistent-hashes each request's canonical plan+resources fingerprint
+// onto a fleet of replicas, so hot keys keep landing on the replica
+// whose encode cache and micro-batcher are already warm for them, with
+// the robustness stack production traffic needs wrapped around the
+// affinity:
+//
+//   - active health checking — every replica's readyz is probed on an
+//     interval and folded through a hysteresis state machine
+//     (healthy → suspect → down → recovered), so a blip does not move
+//     keys off their warm replica but a dead process stops receiving
+//     traffic within a few probes;
+//   - per-replica circuit breakers — driven by real request outcomes,
+//     reacting within a handful of failures instead of a probe interval;
+//     open breakers shed load to the next ring position;
+//   - bounded retries — jittered exponential backoff on connection
+//     errors and 5xx, context-aware throughout;
+//   - tail hedging — when a request outlives the fleet's recent p99, a
+//     second copy is issued to the next replica on the ring and the
+//     loser is cancelled, cutting the tail a slow replica creates;
+//   - graceful degradation — when no replica can answer, the router
+//     prices the plan itself with the analytical fallback and tags the
+//     response degraded:true, so callers always get an answer, a typed
+//     error, or a cancellation — never a hang.
+//
+// The same binary serves as router or replica (raalserve -route).
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"raal/internal/backoff"
+	"raal/internal/physical"
+	"raal/internal/serve"
+	"raal/internal/sparksim"
+)
+
+// Typed failure modes, matched with errors.Is.
+var (
+	// ErrNoReplicas: every replica for the key is down (health or
+	// breaker); with a fallback configured the caller gets a degraded
+	// answer instead of this error.
+	ErrNoReplicas = errors.New("fleet: no routable replica")
+	// ErrAllFailed: every routable replica was tried and failed.
+	ErrAllFailed = errors.New("fleet: every replica attempt failed")
+)
+
+// Replica names one backend raalserve process.
+type Replica struct {
+	// ID labels the replica in metrics and logs (must be unique).
+	ID string
+	// URL is the replica's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+}
+
+// FingerprintFunc canonicalizes a (plan, resources) pair into the
+// affinity key (in practice raal.PlanFingerprint — the encode cache's
+// exact key, so router affinity and replica cache locality agree).
+type FingerprintFunc func(p *physical.Plan, res sparksim.Resources) string
+
+// Config wires a Router.
+type Config struct {
+	// Replicas is the fleet membership (required, at least one).
+	Replicas []Replica
+	// Planner maps request SQL to candidate plans — used to compute the
+	// affinity fingerprint and to price the local degrade path
+	// (required).
+	Planner serve.PlanFunc
+	// Fingerprint canonicalizes (plan, resources) → affinity key.
+	// Nil falls back to the plan signature plus the resource vector —
+	// coarser than the encode-cache key but still deterministic.
+	Fingerprint FingerprintFunc
+	// Fallback prices one plan analytically when every replica is down
+	// (the degrade ladder's last rung). Nil disables degradation: total
+	// replica failure becomes a typed 503.
+	Fallback serve.EstimateFunc
+	// DefaultRes seeds each request's allocation; zero means
+	// sparksim.DefaultResources(). Must match the replicas' default so
+	// the router's fingerprint agrees with their cache keys.
+	DefaultRes sparksim.Resources
+	// MaxCandidates caps the degrade path's /select pricing (default 3).
+	MaxCandidates int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+
+	// Vnodes is the virtual-node count per replica (default 64).
+	Vnodes int
+
+	// HealthInterval is the readyz probe period (default 250ms);
+	// ProbeTimeout bounds each probe (default HealthInterval).
+	HealthInterval time.Duration
+	ProbeTimeout   time.Duration
+	// DownAfter is how many consecutive probe failures send a suspect
+	// replica down (default 3); UpAfter how many consecutive successes
+	// bring a down replica back (default 2).
+	DownAfter int
+	UpAfter   int
+
+	// RetryAttempts is the per-replica attempt budget for connection
+	// errors and 5xx (default 2: one try, one retry); Backoff shapes the
+	// jittered delay between them.
+	RetryAttempts int
+	Backoff       backoff.Policy
+	// AttemptTimeout bounds each proxied attempt so a stalled replica
+	// cannot pin the failover chain (default 2s).
+	AttemptTimeout time.Duration
+
+	// BreakerThreshold consecutive request failures open a replica's
+	// breaker (default 3); BreakerCooldown is how long it sheds before
+	// admitting a half-open probe (default 500ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// HedgeAfter fixes the tail-hedging trigger; 0 adapts it to the
+	// observed p99 (clamped to [HedgeMin, HedgeMax], defaults 1ms and
+	// 250ms); negative disables hedging.
+	HedgeAfter time.Duration
+	HedgeMin   time.Duration
+	HedgeMax   time.Duration
+
+	// Seed keys the retry jitter (deterministic tests).
+	Seed int64
+
+	// Metrics receives routing telemetry; nil routes unobserved. When it
+	// carries a registry, the router serves GET /metrics.
+	Metrics *Metrics
+	// Logger receives health transitions and breaker events; nil
+	// discards them.
+	Logger *slog.Logger
+	// Client overrides the proxy HTTP client (tests); nil uses a
+	// dedicated client with sane pooling.
+	Client *http.Client
+}
+
+// replicaRT is one replica's runtime state.
+type replicaRT struct {
+	id     string
+	url    string
+	health *healthFSM
+	brk    *breaker
+}
+
+// Router is the fleet front-end. Create with New, serve it like any
+// http.Handler, and Close it to stop the health checkers.
+type Router struct {
+	cfg      Config
+	ring     *ring
+	replicas map[string]*replicaRT
+	byIndex  []*replicaRT
+	lat      *latencyTracker
+	met      *Metrics
+	log      *slog.Logger
+	client   *http.Client
+	mux      *http.ServeMux
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates cfg, builds the router, and starts the health checkers
+// (stop them with Close).
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("fleet: config needs at least one replica")
+	}
+	seen := make(map[string]bool, len(cfg.Replicas))
+	for _, r := range cfg.Replicas {
+		if r.ID == "" || r.URL == "" {
+			return nil, fmt.Errorf("fleet: replica needs both ID and URL, got %+v", r)
+		}
+		if seen[r.ID] {
+			return nil, fmt.Errorf("fleet: duplicate replica ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if cfg.Planner == nil {
+		return nil, errors.New("fleet: Config.Planner is required")
+	}
+	if cfg.Fingerprint == nil {
+		cfg.Fingerprint = func(p *physical.Plan, res sparksim.Resources) string {
+			var b bytes.Buffer
+			b.WriteString(p.Sig)
+			for _, v := range res.Vector() {
+				fmt.Fprintf(&b, ",%g", v)
+			}
+			return b.String()
+		}
+	}
+	if cfg.DefaultRes == (sparksim.Resources{}) {
+		cfg.DefaultRes = sparksim.DefaultResources()
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 3
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 250 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.HealthInterval
+	}
+	if cfg.RetryAttempts < 1 {
+		cfg.RetryAttempts = 2
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Second
+	}
+	if cfg.Backoff == (backoff.Policy{}) {
+		cfg.Backoff = backoff.Policy{Base: 5 * time.Millisecond, Cap: 100 * time.Millisecond}
+	}
+	if cfg.HedgeMin <= 0 {
+		cfg.HedgeMin = time.Millisecond
+	}
+	if cfg.HedgeMax <= 0 {
+		cfg.HedgeMax = 250 * time.Millisecond
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     30 * time.Second,
+		}}
+	}
+
+	rt := &Router{
+		cfg:      cfg,
+		replicas: make(map[string]*replicaRT, len(cfg.Replicas)),
+		lat:      newLatencyTracker(512, 0.99),
+		met:      met,
+		log:      logger,
+		client:   client,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stop:     make(chan struct{}),
+	}
+	ids := make([]string, len(cfg.Replicas))
+	for i, r := range cfg.Replicas {
+		ids[i] = r.ID
+		rep := &replicaRT{
+			id:     r.ID,
+			url:    r.URL,
+			health: newHealthFSM(cfg.DownAfter, cfg.UpAfter),
+			brk:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
+		}
+		rt.replicas[r.ID] = rep
+		rt.byIndex = append(rt.byIndex, rep)
+		met.ReplicaState.With(r.ID).Set(stateValue(Healthy))
+		met.ReplicaUp.With(r.ID).Set(1)
+	}
+	rt.ring = newRing(ids, cfg.Vnodes)
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /estimate", rt.proxyHandler("estimate"))
+	rt.mux.HandleFunc("POST /select", rt.proxyHandler("select"))
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /fleetz", rt.handleFleetz)
+	if reg := met.Registry(); reg != nil {
+		rt.mux.Handle("GET /metrics", reg.Handler())
+	}
+
+	for _, rep := range rt.byIndex {
+		rt.wg.Add(1)
+		go rt.probeLoop(rep)
+	}
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Close stops the health checkers and releases pooled connections. In-
+// flight proxied requests finish on their own contexts.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+		return // already closed
+	default:
+	}
+	close(rt.stop)
+	rt.wg.Wait()
+	rt.client.CloseIdleConnections()
+}
+
+// float64 draws jitter from the seeded source (goroutine-safe).
+func (rt *Router) float64() float64 {
+	rt.rngMu.Lock()
+	defer rt.rngMu.Unlock()
+	return rt.rng.Float64()
+}
+
+// ---------------------------------------------------------------------------
+// Health checking
+
+// probeLoop drives one replica's health FSM off its readyz endpoint.
+func (rt *Router) probeLoop(rep *replicaRT) {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		ok := rt.probe(rep)
+		if !ok {
+			rt.met.ProbeFailures.With(rep.id).Inc()
+		}
+		prev, cur := rep.health.observe(ok)
+		if cur == prev {
+			continue
+		}
+		rt.met.ReplicaState.With(rep.id).Set(stateValue(cur))
+		if prev.Routable() != cur.Routable() {
+			rt.met.Rebalances.Inc()
+			up := 0.0
+			if cur.Routable() {
+				up = 1
+			}
+			rt.met.ReplicaUp.With(rep.id).Set(up)
+		}
+		rt.log.LogAttrs(context.Background(), slog.LevelInfo, "replica health transition",
+			slog.String("replica", rep.id),
+			slog.String("from", prev.String()),
+			slog.String("to", cur.String()))
+	}
+}
+
+// probe hits the replica's readyz once; only a 200 counts (a saturated
+// or draining replica answers 503 and is treated as unhealthy, which is
+// exactly the load-aware routing the readyz contract promises).
+func (rt *Router) probe(rep *replicaRT) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+
+// proxyHandler decodes enough of the request to compute the affinity
+// key, forwards the raw body along the ring, and falls back to the
+// local analytical estimate when the fleet cannot answer.
+func (rt *Router) proxyHandler(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rt.met.Requests.With(endpoint).Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		rt.handleProxy(sw, r, endpoint)
+		rt.met.Responses.With(strconv.Itoa(sw.code)).Inc()
+		if sw.code < 400 {
+			elapsed := time.Since(start)
+			rt.lat.Observe(elapsed)
+			rt.met.RouteLatency.Observe(elapsed.Seconds())
+		}
+	}
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request, endpoint string) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, serve.ErrorResponse{
+				Error: fmt.Sprintf("request body exceeds %d byte limit", tooLarge.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var req serve.EstimateRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: `missing "sql"`})
+		return
+	}
+	res := rt.cfg.DefaultRes
+	if req.Executors != 0 {
+		res.Executors = req.Executors
+	}
+	if req.Cores != 0 {
+		res.ExecCores = req.Cores
+	}
+	if req.MemMB != 0 {
+		res.ExecMemMB = req.MemMB
+	}
+	if err := res.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "invalid resources: " + err.Error()})
+		return
+	}
+	plans, err := rt.cfg.Planner(req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	if len(plans) == 0 {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "no plan for query"})
+		return
+	}
+	key := rt.cfg.Fingerprint(plans[0], res)
+
+	out := rt.forward(r.Context(), "/"+endpoint, body, key)
+	if out.err != nil {
+		if cerr := r.Context().Err(); cerr != nil {
+			writeJSON(w, http.StatusRequestTimeout, serve.ErrorResponse{Error: cerr.Error()})
+			return
+		}
+		rt.degrade(w, endpoint, plans, res, out.err)
+		return
+	}
+	rt.met.Proxied.With(out.replica).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Raal-Replica", out.replica)
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+// degrade is the ladder's last rung: price the plan locally with the
+// analytical fallback and tag the answer degraded. Without a fallback
+// the failure surfaces as a typed 503.
+func (rt *Router) degrade(w http.ResponseWriter, endpoint string, plans []*physical.Plan, res sparksim.Resources, cause error) {
+	if rt.cfg.Fallback == nil {
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+			Error: fmt.Sprintf("fleet: no replica available and no fallback: %v", cause)})
+		return
+	}
+	cands := plans[:1]
+	if endpoint == "select" {
+		cands = plans
+		if len(cands) > rt.cfg.MaxCandidates {
+			cands = cands[:rt.cfg.MaxCandidates]
+		}
+	}
+	best, bestCost := 0, 0.0
+	for i, p := range cands {
+		c, err := rt.cfg.Fallback(context.Background(), p, res)
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+				Error: fmt.Sprintf("fleet: no replica available and fallback failed: %v (cause: %v)", err, cause)})
+			return
+		}
+		if i == 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	rt.met.Degraded.Inc()
+	reason := cause.Error()
+	if !strings.HasPrefix(reason, "fleet:") {
+		reason = "fleet: " + reason
+	}
+	writeJSON(w, http.StatusOK, serve.EstimateResponse{
+		CostSec: bestCost, Source: "fallback", Degraded: true,
+		Reason:  reason,
+		PlanSig: cands[best].Sig, PlanIndex: best, Candidates: len(cands),
+	})
+}
+
+// attemptOut carries one forwarding chain's terminal result.
+type attemptOut struct {
+	status  int
+	body    []byte
+	replica string
+	err     error // non-nil when no definitive response was obtained
+}
+
+// hedgeThreshold returns the current tail-hedging trigger: the fixed
+// configured value, or the adaptive p99 clamped to [HedgeMin, HedgeMax].
+// Negative HedgeAfter disables hedging (returns 0).
+func (rt *Router) hedgeThreshold() time.Duration {
+	if rt.cfg.HedgeAfter < 0 {
+		return 0
+	}
+	if rt.cfg.HedgeAfter > 0 {
+		return rt.cfg.HedgeAfter
+	}
+	q := rt.lat.Quantile()
+	if q < rt.cfg.HedgeMin {
+		q = rt.cfg.HedgeMin
+	}
+	if q > rt.cfg.HedgeMax {
+		q = rt.cfg.HedgeMax
+	}
+	rt.met.HedgeThreshold.Set(q.Seconds())
+	return q
+}
+
+// candidates returns the key's preference list: ring order, health-
+// routable members only. Breaker state is checked at attempt time (an
+// Allow has half-open side effects).
+func (rt *Router) candidates(key string) []*replicaRT {
+	order := rt.ring.Order(key)
+	cands := make([]*replicaRT, 0, len(order))
+	for _, id := range order {
+		rep := rt.replicas[id]
+		if rep.health.State().Routable() {
+			cands = append(cands, rep)
+		}
+	}
+	return cands
+}
+
+// forward drives one request through the fleet: a primary failover
+// chain starting at the key's ring owner, plus — once the hedge
+// threshold elapses — one hedged chain starting at the next ring
+// position. The first definitive answer wins and the loser is
+// cancelled. Every chain goroutine delivers into a buffered channel, so
+// an abandoned loser can always complete and exit (no leak, no
+// double-completion of the caller).
+func (rt *Router) forward(ctx context.Context, path string, body []byte, key string) attemptOut {
+	cands := rt.candidates(key)
+	if len(cands) == 0 {
+		return attemptOut{err: ErrNoReplicas}
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	primary := make(chan attemptOut, 1)
+	go func() { primary <- rt.attemptChain(pctx, cands, 0, path, body) }()
+
+	thr := rt.hedgeThreshold()
+	if thr <= 0 || len(cands) < 2 {
+		select {
+		case out := <-primary:
+			return out
+		case <-ctx.Done():
+			return attemptOut{err: ctx.Err()}
+		}
+	}
+
+	var (
+		hedge   chan attemptOut
+		hcancel context.CancelFunc
+		pOut    *attemptOut // primary's failure, parked while the hedge runs
+	)
+	defer func() {
+		if hcancel != nil {
+			hcancel()
+		}
+	}()
+	timer := time.NewTimer(thr)
+	defer timer.Stop()
+	for {
+		select {
+		case out := <-primary:
+			if out.err != nil && hedge != nil {
+				// Primary lost its whole chain; the hedge is still the
+				// request's hope. Park the error and wait.
+				pOut = &out
+				primary = nil
+				continue
+			}
+			if hedge != nil {
+				rt.met.Hedges.With("lost").Inc()
+			}
+			return out
+		case out := <-hedge:
+			if out.err == nil {
+				rt.met.Hedges.With("won").Inc()
+				pcancel()
+				return out
+			}
+			rt.met.Hedges.With("lost").Inc()
+			if pOut != nil {
+				return *pOut // both chains failed; report the primary's error
+			}
+			hedge = nil // hedge died first; the primary may still answer
+		case <-timer.C:
+			if hedge == nil && pOut == nil {
+				rt.met.Hedges.With("fired").Inc()
+				hctx, cancel := context.WithCancel(ctx)
+				hcancel = cancel // released by the deferred cleanup above
+				h := make(chan attemptOut, 1)
+				hedge = h
+				go func() { h <- rt.attemptChain(hctx, cands, 1, path, body) }()
+			}
+		case <-ctx.Done():
+			return attemptOut{err: ctx.Err()}
+		}
+	}
+}
+
+// attemptChain walks the preference list from start, giving each
+// breaker-admitted replica RetryAttempts tries with jittered backoff,
+// and returns the first definitive response. 2xx and client-error 4xx
+// are definitive; connection errors and 5xx retry then fail over;
+// 429/503 (saturated/draining — load states, not breakage) fail over
+// immediately without a breaker penalty.
+func (rt *Router) attemptChain(ctx context.Context, cands []*replicaRT, start int, path string, body []byte) attemptOut {
+	var lastErr error
+	tried := 0
+	for i := start; i < len(cands); i++ {
+		rep := cands[i]
+		if !rep.brk.Allow() {
+			rt.met.BreakerSheds.Inc()
+			rt.met.BreakerState.With(rep.id).Set(breakerValue(rep.brk.State()))
+			continue
+		}
+		if tried > 0 {
+			rt.met.Failovers.Inc()
+		}
+		tried++
+	attempts:
+		for attempt := 0; attempt < rt.cfg.RetryAttempts; attempt++ {
+			if attempt > 0 {
+				rt.met.Retries.Inc()
+				if err := backoff.Sleep(ctx, rt.cfg.Backoff.Delay(attempt-1, rt.float64)); err != nil {
+					return attemptOut{err: err}
+				}
+			}
+			status, respBody, err := rt.try(ctx, rep, path, body)
+			if err != nil {
+				if ctx.Err() != nil {
+					return attemptOut{err: ctx.Err()}
+				}
+				rt.recordFailure(rep)
+				lastErr = fmt.Errorf("replica %s: %w", rep.id, err)
+				continue // connection-level failure: retry this replica
+			}
+			switch {
+			case status < 400:
+				rt.recordSuccess(rep)
+				return attemptOut{status: status, body: respBody, replica: rep.id}
+			case status == http.StatusBadRequest || status == http.StatusRequestEntityTooLarge ||
+				status == http.StatusNotFound:
+				// Definitive client error: relay as-is, and the replica
+				// answered correctly, so its breaker heals.
+				rt.recordSuccess(rep)
+				return attemptOut{status: status, body: respBody, replica: rep.id}
+			case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+				// Saturated or draining: shed to the next ring position.
+				// Not a breakage signal — the health checker will absorb
+				// a sustained 503 via the readyz probes.
+				lastErr = fmt.Errorf("replica %s: HTTP %d", rep.id, status)
+				break attempts
+			default: // 5xx: the replica is misbehaving
+				rt.recordFailure(rep)
+				lastErr = fmt.Errorf("replica %s: HTTP %d", rep.id, status)
+			}
+		}
+	}
+	if lastErr == nil {
+		return attemptOut{err: ErrNoReplicas}
+	}
+	return attemptOut{err: fmt.Errorf("%w: %v", ErrAllFailed, lastErr)}
+}
+
+// try performs one proxied attempt with its own timeout, so a stalled
+// replica cannot pin the chain past AttemptTimeout.
+func (rt *Router) try(ctx context.Context, rep *replicaRT, path string, body []byte) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// recordSuccess and recordFailure fold request outcomes into the
+// replica's breaker and its state gauge.
+func (rt *Router) recordSuccess(rep *replicaRT) {
+	if rep.brk.Success() {
+		rt.log.LogAttrs(context.Background(), slog.LevelInfo, "breaker closed",
+			slog.String("replica", rep.id))
+	}
+	rt.met.BreakerState.With(rep.id).Set(breakerValue(rep.brk.State()))
+}
+
+func (rt *Router) recordFailure(rep *replicaRT) {
+	if rep.brk.Failure() {
+		rt.met.BreakerOpens.With(rep.id).Inc()
+		rt.log.LogAttrs(context.Background(), slog.LevelWarn, "breaker opened",
+			slog.String("replica", rep.id))
+	}
+	rt.met.BreakerState.With(rep.id).Set(breakerValue(rep.brk.State()))
+}
+
+// ---------------------------------------------------------------------------
+// Operational surfaces
+
+// handleReadyz: the router is ready while it can answer somehow — at
+// least one routable replica, or the local fallback.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	routable := 0
+	for _, rep := range rt.byIndex {
+		if rep.health.State().Routable() {
+			routable++
+		}
+	}
+	if routable > 0 || rt.cfg.Fallback != nil {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, "ready (%d/%d replicas routable)\n", routable, len(rt.byIndex))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "no routable replica and no fallback")
+}
+
+// fleetzReplica is one row of the /fleetz state dump.
+type fleetzReplica struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Health  string `json:"health"`
+	Breaker string `json:"breaker"`
+}
+
+// handleFleetz dumps the live membership view for operators.
+func (rt *Router) handleFleetz(w http.ResponseWriter, _ *http.Request) {
+	out := make([]fleetzReplica, len(rt.byIndex))
+	for i, rep := range rt.byIndex {
+		out[i] = fleetzReplica{
+			ID:      rep.id,
+			URL:     rep.url,
+			Health:  rep.health.State().String(),
+			Breaker: rep.brk.State().String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

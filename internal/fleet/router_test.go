@@ -1,0 +1,475 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"raal/internal/physical"
+	"raal/internal/serve"
+	"raal/internal/sparksim"
+	"raal/internal/telemetry"
+)
+
+// testPlanner maps any SQL string to a single one-node plan whose Sig is
+// the SQL itself, so tests control affinity keys directly. SQL starting
+// with "bad" fails like a parse error.
+func testPlanner(sql string) ([]*physical.Plan, error) {
+	if strings.HasPrefix(sql, "bad") {
+		return nil, errors.New("unparsable query")
+	}
+	return []*physical.Plan{{Sig: sql}}, nil
+}
+
+// stubReplica is a scriptable fake replica: swap its behavior mid-test
+// with setMode. The default mode answers every estimate with a 200 and
+// a readyz with 200.
+type stubReplica struct {
+	id   string
+	ts   *httptest.Server
+	hits atomic.Int64
+	mode atomic.Value // func(w http.ResponseWriter, r *http.Request) bool — returns handled
+}
+
+func okBody(id string) []byte {
+	b, _ := json.Marshal(serve.EstimateResponse{CostSec: 1.5, Source: "model"})
+	_ = id
+	return b
+}
+
+func newStubReplica(id string) *stubReplica {
+	s := &stubReplica{id: id}
+	s.mode.Store(func(w http.ResponseWriter, r *http.Request) bool { return false })
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" || r.URL.Path == "/healthz" {
+			if handled := s.mode.Load().(func(http.ResponseWriter, *http.Request) bool)(w, r); handled {
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		s.hits.Add(1)
+		if handled := s.mode.Load().(func(http.ResponseWriter, *http.Request) bool)(w, r); handled {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(okBody(s.id))
+	}))
+	return s
+}
+
+// setMode installs a hook run for every request (readyz included); it
+// reports whether it wrote the response.
+func (s *stubReplica) setMode(fn func(w http.ResponseWriter, r *http.Request) bool) {
+	s.mode.Store(fn)
+}
+
+// fleetUnderTest assembles a router over n stub replicas with fast,
+// test-friendly timings.
+type fleetUnderTest struct {
+	replicas []*stubReplica
+	router   *Router
+	rs       *httptest.Server
+	reg      *telemetry.Registry
+	met      *Metrics
+}
+
+func newFleet(t *testing.T, n int, mutate func(*Config)) *fleetUnderTest {
+	t.Helper()
+	f := &fleetUnderTest{reg: telemetry.NewRegistry()}
+	var reps []Replica
+	var ids []string
+	for i := 0; i < n; i++ {
+		sr := newStubReplica(fmt.Sprintf("r%d", i))
+		f.replicas = append(f.replicas, sr)
+		reps = append(reps, Replica{ID: sr.id, URL: sr.ts.URL})
+		ids = append(ids, sr.id)
+	}
+	f.met = NewMetrics(f.reg, ids)
+	cfg := Config{
+		Replicas:         reps,
+		Planner:          testPlanner,
+		HealthInterval:   20 * time.Millisecond,
+		DownAfter:        2,
+		UpAfter:          1,
+		RetryAttempts:    2,
+		AttemptTimeout:   time.Second,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+		HedgeAfter:       -1, // hedging off unless a test enables it
+		Seed:             7,
+		Metrics:          f.met,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	router, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.router = router
+	f.rs = httptest.NewServer(router)
+	t.Cleanup(func() {
+		f.rs.Close()
+		f.router.Close()
+		for _, r := range f.replicas {
+			r.ts.Close()
+		}
+	})
+	return f
+}
+
+// estimate posts one request and decodes the answer.
+func (f *fleetUnderTest) estimate(t *testing.T, sql string) (int, serve.EstimateResponse, string) {
+	t.Helper()
+	body, _ := json.Marshal(serve.EstimateRequest{SQL: sql})
+	resp, err := http.Post(f.rs.URL+"/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("estimate(%q): %v", sql, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var er serve.EstimateResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &er); err != nil {
+			t.Fatalf("estimate(%q): bad 200 body %q: %v", sql, raw, err)
+		}
+	}
+	return resp.StatusCode, er, resp.Header.Get("X-Raal-Replica")
+}
+
+func TestRouterAffinityIsSticky(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	owner := map[string]string{}
+	for round := 0; round < 5; round++ {
+		for k := 0; k < 20; k++ {
+			sql := fmt.Sprintf("q%d", k)
+			status, _, rep := f.estimate(t, sql)
+			if status != http.StatusOK {
+				t.Fatalf("key %s: status %d", sql, status)
+			}
+			if rep == "" {
+				t.Fatal("missing X-Raal-Replica header")
+			}
+			if prev, ok := owner[sql]; ok && prev != rep {
+				t.Fatalf("key %s moved from %s to %s with stable membership", sql, prev, rep)
+			}
+			owner[sql] = rep
+		}
+	}
+	distinct := map[string]bool{}
+	for _, rep := range owner {
+		distinct[rep] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("20 keys all landed on one replica: %v", distinct)
+	}
+}
+
+// findOwner locates which replica the ring assigns a key, while the
+// whole fleet is healthy.
+func (f *fleetUnderTest) findOwner(t *testing.T, sql string) *stubReplica {
+	t.Helper()
+	status, _, rep := f.estimate(t, sql)
+	if status != http.StatusOK {
+		t.Fatalf("findOwner(%q): status %d", sql, status)
+	}
+	for _, r := range f.replicas {
+		if r.id == rep {
+			return r
+		}
+	}
+	t.Fatalf("unknown replica %q", rep)
+	return nil
+}
+
+func TestRouterFailsOverOn5xxAndOpensBreaker(t *testing.T) {
+	f := newFleet(t, 3, nil)
+	owner := f.findOwner(t, "hot")
+	owner.setMode(func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path == "/readyz" {
+			return false // keep health green: this is the breaker's job
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		return true
+	})
+	for i := 0; i < 4; i++ {
+		status, er, rep := f.estimate(t, "hot")
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		if er.Degraded {
+			t.Fatalf("request %d: degraded answer with two healthy replicas", i)
+		}
+		if rep == owner.id {
+			t.Fatalf("request %d: answered by the broken owner", i)
+		}
+	}
+	if f.met.Retries.Value() == 0 {
+		t.Fatal("5xx path must record retries")
+	}
+	if f.met.Failovers.Value() == 0 {
+		t.Fatal("5xx path must record failovers")
+	}
+	if f.met.BreakerOpens.With(owner.id).Value() == 0 {
+		t.Fatal("sustained 5xx must open the owner's breaker")
+	}
+	// Once open, later requests shed without touching the owner.
+	before := owner.hits.Load()
+	f.estimate(t, "hot")
+	if owner.hits.Load() != before && f.met.BreakerSheds.Value() == 0 {
+		t.Fatal("open breaker should shed instead of re-hitting the broken replica")
+	}
+}
+
+func TestRouterSaturated429FailsOverWithoutBreakerPenalty(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	owner := f.findOwner(t, "busy")
+	owner.setMode(func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path == "/readyz" {
+			return false
+		}
+		writeJSON(w, http.StatusTooManyRequests, serve.ErrorResponse{Error: "overloaded"})
+		return true
+	})
+	status, _, rep := f.estimate(t, "busy")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via failover", status)
+	}
+	if rep == owner.id {
+		t.Fatal("saturated owner must not answer")
+	}
+	if f.met.BreakerOpens.With(owner.id).Value() != 0 {
+		t.Fatal("429 is a load signal, not breakage: breaker must stay closed")
+	}
+	if f.met.Failovers.Value() == 0 {
+		t.Fatal("429 must count as a failover")
+	}
+}
+
+func TestRouterClientErrorRelayedWithoutFailover(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	owner := f.findOwner(t, "cli")
+	other := f.replicas[0]
+	if other == owner {
+		other = f.replicas[1]
+	}
+	owner.setMode(func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path == "/readyz" {
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "replica says no"})
+		return true
+	})
+	otherBefore := other.hits.Load()
+	status, _, _ := f.estimate(t, "cli")
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want the replica's 400 relayed", status)
+	}
+	if other.hits.Load() != otherBefore {
+		t.Fatal("client errors are definitive: no failover allowed")
+	}
+	// The router's own planner rejects bad SQL before any proxying.
+	status, _, _ = f.estimate(t, "bad query")
+	if status != http.StatusBadRequest {
+		t.Fatalf("planner rejection: status = %d, want 400", status)
+	}
+}
+
+func TestRouterDegradesWhenAllReplicasDown(t *testing.T) {
+	f := newFleet(t, 2, func(cfg *Config) {
+		cfg.Fallback = func(_ context.Context, p *physical.Plan, _ sparksim.Resources) (float64, error) {
+			return 7.5, nil
+		}
+	})
+	for _, r := range f.replicas {
+		r.ts.Close() // hard kill: connection refused from here on
+	}
+	status, er, _ := f.estimate(t, "orphan")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 degraded", status)
+	}
+	if !er.Degraded || er.Source != "fallback" || er.CostSec != 7.5 {
+		t.Fatalf("answer = %+v, want degraded fallback at 7.5", er)
+	}
+	if !strings.Contains(er.Reason, "fleet:") {
+		t.Fatalf("reason %q must carry the fleet failure", er.Reason)
+	}
+	if f.met.Degraded.Value() == 0 {
+		t.Fatal("degrade counter must move")
+	}
+}
+
+func TestRouterTypedErrorWhenAllDownAndNoFallback(t *testing.T) {
+	f := newFleet(t, 1, nil)
+	f.replicas[0].ts.Close()
+	body, _ := json.Marshal(serve.EstimateRequest{SQL: "q"})
+	resp, err := http.Post(f.rs.URL+"/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var er serve.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("503 must carry a typed JSON error: %v", err)
+	}
+	if !strings.Contains(er.Error, "fleet:") {
+		t.Fatalf("error %q must name the fleet failure", er.Error)
+	}
+}
+
+func TestRouterHedgesSlowReplica(t *testing.T) {
+	f := newFleet(t, 2, func(cfg *Config) {
+		cfg.HedgeAfter = 15 * time.Millisecond
+	})
+	owner := f.findOwner(t, "slowkey")
+	owner.setMode(func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path == "/readyz" {
+			return false
+		}
+		time.Sleep(400 * time.Millisecond) // deep into the tail
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(okBody(owner.id))
+		return true
+	})
+	start := time.Now()
+	status, _, rep := f.estimate(t, "slowkey")
+	elapsed := time.Since(start)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if rep == owner.id {
+		t.Fatal("hedge should have won against the stalled owner")
+	}
+	if elapsed >= 400*time.Millisecond {
+		t.Fatalf("request took %v — the hedge did not cut the tail", elapsed)
+	}
+	if f.met.Hedges.With("fired").Value() == 0 || f.met.Hedges.With("won").Value() == 0 {
+		t.Fatal("hedge fired/won counters must move")
+	}
+}
+
+func TestRouterHealthDrivenMembership(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	owner := f.findOwner(t, "movable")
+	// The owner starts reporting not-ready (as a saturated or draining
+	// replica would); the checker must take it out of rotation.
+	owner.setMode(func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return true
+		}
+		return false
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !f.router.replicas[owner.id].health.State().Routable() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if f.router.replicas[owner.id].health.State().Routable() {
+		t.Fatal("replica failing readyz stayed routable past the hysteresis window")
+	}
+	if f.met.Rebalances.Value() == 0 {
+		t.Fatal("routable→down transition must count a rebalance")
+	}
+	// Requests now route around it without error or delay.
+	estBefore := owner.hits.Load()
+	status, _, rep := f.estimate(t, "movable")
+	if status != http.StatusOK || rep == owner.id {
+		t.Fatalf("status=%d rep=%s: keys must fail over to the live replica", status, rep)
+	}
+	if owner.hits.Load() != estBefore {
+		t.Fatal("down replica must receive no estimate traffic")
+	}
+	// Recovery: readyz greens, the checker brings it back with
+	// hysteresis (UpAfter=1 then one more ok → healthy).
+	owner.setMode(func(w http.ResponseWriter, r *http.Request) bool { return false })
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if f.router.replicas[owner.id].health.State() == Healthy {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := f.router.replicas[owner.id].health.State(); got != Healthy {
+		t.Fatalf("replica state = %v after recovery, want healthy", got)
+	}
+	status, _, rep = f.estimate(t, "movable")
+	if status != http.StatusOK || rep != owner.id {
+		t.Fatalf("status=%d rep=%s: recovered owner must get its keys back", status, rep)
+	}
+}
+
+func TestRouterOperationalSurfaces(t *testing.T) {
+	f := newFleet(t, 2, nil)
+	f.estimate(t, "q1")
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(f.rs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(f.rs.URL + "/fleetz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []fleetzReplica
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rows) != 2 || rows[0].Health != "healthy" || rows[0].Breaker != "closed" {
+		t.Fatalf("fleetz rows = %+v", rows)
+	}
+
+	resp, err = http.Get(f.rs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"raal_fleet_requests_total{endpoint=\"estimate\"}",
+		"raal_fleet_replica_state{replica=\"r0\"}",
+		"raal_fleet_hedges_total{outcome=\"fired\"}",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	if _, err := New(Config{Replicas: []Replica{{ID: "a", URL: "http://x"}}}); err == nil {
+		t.Fatal("missing planner must fail")
+	}
+	if _, err := New(Config{
+		Replicas: []Replica{{ID: "a", URL: "http://x"}, {ID: "a", URL: "http://y"}},
+		Planner:  testPlanner,
+	}); err == nil {
+		t.Fatal("duplicate replica IDs must fail")
+	}
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"raal/internal/telemetry"
+)
+
+// Label values pre-materialized at wiring time, like internal/serve.
+var (
+	fleetEndpoints    = []string{"estimate", "select"}
+	hedgeOutcomes     = []string{"fired", "won", "lost"}
+	fleetStatusValues = []string{"200", "400", "408", "413", "429", "500", "503", "504"}
+)
+
+// Metrics is the fleet router's metric set. Nil or zero value is inert,
+// matching the serve and telemetry conventions. Per-replica vecs are
+// keyed by replica ID, pre-materialized for the configured membership.
+type Metrics struct {
+	registry *telemetry.Registry
+
+	// Requests counts router requests by endpoint; Responses counts what
+	// the caller ultimately received, by status code.
+	Requests  *telemetry.CounterVec
+	Responses *telemetry.CounterVec
+
+	// Proxied counts requests answered by each replica (the hedge or
+	// failover winner — exactly one per served request).
+	Proxied *telemetry.CounterVec
+
+	// Retries counts same-replica retry attempts after a connection
+	// error or 5xx; Failovers counts moves to the next ring position
+	// after a replica was exhausted; BreakerSheds counts candidates
+	// skipped because their breaker was open.
+	Retries      *telemetry.Counter
+	Failovers    *telemetry.Counter
+	BreakerSheds *telemetry.Counter
+
+	// Hedges counts tail hedges by outcome: fired (second request
+	// launched), won (the hedge answered first), lost (the primary beat
+	// it). fired == won + lost once all in-flight pairs resolve.
+	Hedges *telemetry.CounterVec
+	// HedgeThreshold reports the current trigger latency in seconds.
+	HedgeThreshold *telemetry.Gauge
+
+	// Degraded counts requests answered by the router's local analytical
+	// fallback because no replica could (tagged degraded:true).
+	Degraded *telemetry.Counter
+
+	// ReplicaState gauges the health FSM per replica (0 down, 1 suspect,
+	// 2 recovered, 3 healthy); ReplicaUp is the routable bit.
+	ReplicaState *telemetry.GaugeVec
+	ReplicaUp    *telemetry.GaugeVec
+	// BreakerState gauges the breaker per replica (0 closed, 1 open,
+	// 2 half-open); BreakerOpens counts open transitions.
+	BreakerState *telemetry.GaugeVec
+	BreakerOpens *telemetry.CounterVec
+
+	// ProbeFailures counts failed health probes per replica;
+	// Rebalances counts effective-membership changes (a replica
+	// crossing routable ↔ not — every such transition re-maps the keys
+	// it owned or receives them back).
+	ProbeFailures *telemetry.CounterVec
+	Rebalances    *telemetry.Counter
+
+	// RouteLatency observes end-to-end router latency (admission to
+	// final byte) for served requests, in seconds.
+	RouteLatency *telemetry.Histogram
+}
+
+// NewMetrics registers the fleet metric set on reg with per-replica
+// children for the given replica IDs. Metric names are stable API.
+func NewMetrics(reg *telemetry.Registry, replicaIDs []string) *Metrics {
+	return &Metrics{
+		registry: reg,
+		Requests: reg.NewCounterVec("raal_fleet_requests_total",
+			"Router requests by endpoint.", "endpoint", fleetEndpoints...),
+		Responses: reg.NewCounterVec("raal_fleet_responses_total",
+			"Router responses by status code.", "code", fleetStatusValues...),
+		Proxied: reg.NewCounterVec("raal_fleet_proxied_total",
+			"Requests answered by each replica.", "replica", replicaIDs...),
+		Retries: reg.NewCounter("raal_fleet_retries_total",
+			"Same-replica retries after a connection error or 5xx."),
+		Failovers: reg.NewCounter("raal_fleet_failovers_total",
+			"Requests moved to the next ring position after exhausting a replica."),
+		BreakerSheds: reg.NewCounter("raal_fleet_breaker_sheds_total",
+			"Candidate replicas skipped because their circuit breaker was open."),
+		Hedges: reg.NewCounterVec("raal_fleet_hedges_total",
+			"Tail hedges by outcome (fired / won / lost).", "outcome", hedgeOutcomes...),
+		HedgeThreshold: reg.NewGauge("raal_fleet_hedge_threshold_seconds",
+			"Current tail-hedging trigger latency."),
+		Degraded: reg.NewCounter("raal_fleet_degraded_total",
+			"Requests answered by the router's local analytical fallback (no replica available)."),
+		ReplicaState: reg.NewGaugeVec("raal_fleet_replica_state",
+			"Replica health state (0 down, 1 suspect, 2 recovered, 3 healthy).", "replica", replicaIDs...),
+		ReplicaUp: reg.NewGaugeVec("raal_fleet_replica_up",
+			"Whether the replica is routable (1) or down (0).", "replica", replicaIDs...),
+		BreakerState: reg.NewGaugeVec("raal_fleet_breaker_state",
+			"Replica circuit-breaker state (0 closed, 1 open, 2 half-open).", "replica", replicaIDs...),
+		BreakerOpens: reg.NewCounterVec("raal_fleet_breaker_opens_total",
+			"Circuit-breaker open transitions per replica.", "replica", replicaIDs...),
+		ProbeFailures: reg.NewCounterVec("raal_fleet_probe_failures_total",
+			"Failed health probes per replica.", "replica", replicaIDs...),
+		Rebalances: reg.NewCounter("raal_fleet_ring_rebalances_total",
+			"Effective-membership changes (a replica crossing routable/not-routable)."),
+		RouteLatency: reg.NewHistogram("raal_fleet_request_seconds",
+			"End-to-end router latency of served requests.", nil),
+	}
+}
+
+// Registry returns the registry the metrics live on (nil when inert).
+func (m *Metrics) Registry() *telemetry.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.registry
+}
+
+// stateValue encodes a HealthState for the ReplicaState gauge.
+func stateValue(s HealthState) float64 {
+	switch s {
+	case Down:
+		return 0
+	case Suspect:
+		return 1
+	case Recovered:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// breakerValue encodes a breakerState for the BreakerState gauge.
+func breakerValue(s breakerState) float64 {
+	switch s {
+	case breakerClosed:
+		return 0
+	case breakerOpen:
+		return 1
+	default:
+		return 2
+	}
+}

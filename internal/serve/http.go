@@ -92,14 +92,22 @@ func NewHandler(srv *Server, cfg HTTPConfig) (*Handler, error) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness is load-aware: a replica whose admission queue is full
+	// reports not-ready so a router's health checker stops routing to it
+	// before callers see 429s, and recovers automatically once the queue
+	// drains. Draining still wins — it is terminal until restart.
 	h.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if h.ready.Load() && h.srv.Ready() {
+		switch {
+		case !h.ready.Load() || !h.srv.Ready():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+		case h.srv.Saturated():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "saturated")
+		default:
 			w.WriteHeader(http.StatusOK)
 			fmt.Fprintln(w, "ready")
-			return
 		}
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
 	})
 	h.ready.Store(true)
 	return h, nil
@@ -160,18 +168,22 @@ func (h *Handler) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// estimateRequest is the JSON body of /estimate and /select. Resource
-// fields are optional; zero means the server default.
-type estimateRequest struct {
+// EstimateRequest is the JSON body of /estimate and /select. Resource
+// fields are optional; zero means the server default. Exported because
+// the fleet router decodes the same wire format to compute the affinity
+// key before proxying.
+type EstimateRequest struct {
 	SQL       string  `json:"sql"`
 	Executors int     `json:"executors"`
 	Cores     int     `json:"cores"`
 	MemMB     float64 `json:"mem_mb"`
 }
 
-// estimateResponse is the JSON answer. Degraded marks fallback answers;
-// Reason then carries the deep-path failure.
-type estimateResponse struct {
+// EstimateResponse is the JSON answer. Degraded marks fallback answers;
+// Reason then carries the deep-path failure. The fleet router emits the
+// same shape for its local last-resort degrade, so clients see one
+// schema whether a replica or the router answered.
+type EstimateResponse struct {
 	CostSec    float64 `json:"cost_sec"`
 	Source     string  `json:"source"`
 	Degraded   bool    `json:"degraded"`
@@ -181,7 +193,9 @@ type estimateResponse struct {
 	Candidates int     `json:"candidates"`
 }
 
-type errorResponse struct {
+// ErrorResponse is the JSON error envelope every non-2xx estimation
+// response carries.
+type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
@@ -195,7 +209,7 @@ func (h *Handler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateResponse{
+	writeJSON(w, http.StatusOK, EstimateResponse{
 		CostSec: result.Cost, Source: result.Source,
 		Degraded: result.Degraded, Reason: result.Reason,
 		PlanSig: plans[0].Sig, PlanIndex: 0, Candidates: len(plans),
@@ -216,7 +230,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 		h.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, estimateResponse{
+	writeJSON(w, http.StatusOK, EstimateResponse{
 		CostSec: result.Cost, Source: result.Source,
 		Degraded: result.Degraded, Reason: result.Reason,
 		PlanSig: candidates[best].Sig, PlanIndex: best, Candidates: len(candidates),
@@ -226,7 +240,7 @@ func (h *Handler) handleSelect(w http.ResponseWriter, r *http.Request) {
 // prepare decodes, validates, and plans a request; on failure it has
 // already written the error response.
 func (h *Handler) prepare(w http.ResponseWriter, r *http.Request) ([]*physical.Plan, sparksim.Resources, bool) {
-	var req estimateRequest
+	var req EstimateRequest
 	body := http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
@@ -236,15 +250,15 @@ func (h *Handler) prepare(w http.ResponseWriter, r *http.Request) ([]*physical.P
 		// semantics, it is simply too large to admit.
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
 				Error: fmt.Sprintf("request body exceeds %d byte limit", tooLarge.Limit)})
 			return nil, sparksim.Resources{}, false
 		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
 		return nil, sparksim.Resources{}, false
 	}
 	if req.SQL == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `missing "sql"`})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: `missing "sql"`})
 		return nil, sparksim.Resources{}, false
 	}
 	res := h.cfg.DefaultRes
@@ -258,16 +272,16 @@ func (h *Handler) prepare(w http.ResponseWriter, r *http.Request) ([]*physical.P
 		res.ExecMemMB = req.MemMB
 	}
 	if err := res.Validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid resources: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid resources: " + err.Error()})
 		return nil, sparksim.Resources{}, false
 	}
 	plans, err := h.cfg.Planner(req.SQL)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return nil, sparksim.Resources{}, false
 	}
 	if len(plans) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no plan for query"})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "no plan for query"})
 		return nil, sparksim.Resources{}, false
 	}
 	return plans, res, true
@@ -289,7 +303,7 @@ func (h *Handler) writeError(w http.ResponseWriter, err error) {
 		// The client went away; the status is for logs only.
 		status = http.StatusRequestTimeout
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

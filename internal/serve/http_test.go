@@ -39,7 +39,7 @@ func newTestHandler(t *testing.T, cfg Config, plans ...*physical.Plan) *Handler 
 	return h
 }
 
-func postEstimate(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, estimateResponse, string) {
+func postEstimate(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, EstimateResponse, string) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
 	if err != nil {
@@ -50,7 +50,7 @@ func postEstimate(t *testing.T, ts *httptest.Server, path, body string) (*http.R
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		t.Fatal(err)
 	}
-	var er estimateResponse
+	var er EstimateResponse
 	_ = json.Unmarshal(buf.Bytes(), &er)
 	return resp, er, buf.String()
 }

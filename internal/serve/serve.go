@@ -183,6 +183,20 @@ func New(cfg Config) (*Server, error) {
 // Ready reports whether the server accepts new requests.
 func (s *Server) Ready() bool { return !s.draining.Load() }
 
+// Saturated reports whether admission is at capacity: the wait queue is
+// full, or — with no queue configured — every concurrency slot is busy.
+// A saturated server is still alive (the next request is rejected with
+// ErrOverloaded rather than queued), so readiness surfaces the state to
+// load balancers before callers start seeing 429s; router-side health
+// checking supplies the hysteresis that keeps a momentary spike from
+// flapping membership.
+func (s *Server) Saturated() bool {
+	if s.cfg.QueueDepth > 0 {
+		return s.queued.Load() >= int64(s.cfg.QueueDepth)
+	}
+	return s.inflight.Load() >= int64(s.cfg.Concurrency)
+}
+
 // hasDeep reports whether any deep path exists: a plain Deep estimator,
 // or the micro-batching coalescer over DeepEach.
 func (s *Server) hasDeep() bool { return s.cfg.Deep != nil || s.batcher != nil }

@@ -243,6 +243,40 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 	return f.child("", func() any { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec is a gauge family keyed by one label, children
+// pre-materialized like CounterVec — the fleet router uses one per
+// replica for health and breaker state.
+type GaugeVec struct {
+	f *family
+}
+
+// NewGaugeVec registers the named gauge family with the given label key
+// and pre-materializes a child per value. More values may be added later
+// by calling NewGaugeVec again with the same name.
+func (r *Registry) NewGaugeVec(name, help, label string, values ...string) *GaugeVec {
+	if !validName(label) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", label))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindGauge)
+	f.label = label
+	for _, v := range values {
+		f.child(v, func() any { return &Gauge{labelValue: v} })
+	}
+	return &GaugeVec{f: f}
+}
+
+// With returns the child gauge for the label value, or nil (a no-op
+// gauge) when the value was not pre-materialized. Nil-safe.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	g, _ := v.f.snapshot.Load().(map[string]any)[value].(*Gauge)
+	return g
+}
+
 // ---------------------------------------------------------------------------
 // Histogram
 

@@ -110,11 +110,35 @@ func TestVecChildrenPreMaterialized(t *testing.T) {
 	}
 }
 
+func TestGaugeVecChildrenPreMaterialized(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("test_replica_state", "per replica", "replica", "r0", "r1")
+	v.With("r0").Set(3)
+	v.With("r1").Set(1)
+	v.With("r1").Add(1)
+	if v.With("r0").Value() != 3 || v.With("r1").Value() != 2 {
+		t.Fatal("gauge vec children misread")
+	}
+	if v.With("unknown") != nil {
+		t.Fatal("unknown label value must yield a nil (no-op) child")
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `test_replica_state{replica="r0"} 3`) ||
+		!strings.Contains(buf.String(), `test_replica_state{replica="r1"} 2`) {
+		t.Fatalf("gauge vec exposition wrong:\n%s", buf.String())
+	}
+}
+
 func TestNilMetricsAreNoOps(t *testing.T) {
 	var c *Counter
 	var g *Gauge
 	var h *Histogram
 	var cv *CounterVec
+	var gv *GaugeVec
 	var hv *HistogramVec
 	var sp *Span
 	c.Inc()
@@ -123,6 +147,7 @@ func TestNilMetricsAreNoOps(t *testing.T) {
 	g.Add(1)
 	h.Observe(1)
 	cv.With("x").Inc()
+	gv.With("x").Set(1)
 	hv.With("x").Observe(1)
 	sp.Stage("s")()
 	sp.End()
