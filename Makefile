@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet chaos vet fuzz cover check
+.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet bench-online chaos online vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ test: build
 # drains and kills) and internal/backoff the context-cancellation
 # property tests. Use `make race-all` for the (slow) full sweep.
 race:
-	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry ./internal/fleet ./internal/backoff .
+	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry ./internal/fleet ./internal/backoff ./internal/online .
 
 # The experiments package replays full training runs; under the race
 # detector that exceeds go test's default 10m per-package timeout on
@@ -65,6 +65,20 @@ bench-fleet:
 # Deterministic — a failure here is a real robustness bug, not flake.
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/fleet
+
+# Online-learning drills under the race detector: the seeded workload
+# shift (drift detector → replay-buffer retrain → shadow comparison →
+# promotion), the hot-swap soak (concurrent requests racing 48
+# promote/rollback swaps, zero torn reads allowed), and the admin
+# surface. Deterministic end to end — the loop inherits Fit's
+# bit-reproducibility.
+online:
+	$(GO) test -race -run 'TestOnline' -count=1 -v ./internal/online
+
+# The seeded drift drill as a report (results/BENCH_online.json):
+# pre-shift vs drift-peak vs post-promotion q-error.
+bench-online:
+	$(GO) run ./cmd/raalbench -exp online -json -outdir results
 
 vet:
 	$(GO) vet ./...

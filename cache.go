@@ -2,6 +2,8 @@ package raal
 
 import (
 	"container/list"
+	"fmt"
+	"hash/fnv"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,6 +29,7 @@ type encodeCache struct {
 type cacheEntry struct {
 	key    string
 	sample *encode.Sample
+	hits   uint64 // lookups served from this entry since it was cached
 }
 
 func newEncodeCache(capacity int) *encodeCache {
@@ -45,7 +48,21 @@ func (c *encodeCache) get(key string) (*encode.Sample, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).sample, true
+	e := el.Value.(*cacheEntry)
+	e.hits++
+	return e.sample, true
+}
+
+// keyStats snapshots per-entry hit counts in most-recently-used order.
+func (c *encodeCache) keyStats() []CacheKeyStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheKeyStats, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CacheKeyStats{Key: FingerprintID(e.key), Hits: e.hits})
+	}
+	return out
 }
 
 func (c *encodeCache) add(key string, s *encode.Sample) {
@@ -68,6 +85,39 @@ func (c *encodeCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// CacheKeyStats is one encode-cache entry's hit attribution: how many
+// lookups the entry has served since it was cached, keyed by the short
+// fingerprint ID (see FingerprintID). Per-key attribution is what lets
+// the fleet benchmark tie a routed key's traffic to the replica whose
+// cache actually served it.
+type CacheKeyStats struct {
+	Key  string `json:"key"`
+	Hits uint64 `json:"hits"`
+}
+
+// FingerprintID condenses a canonical plan fingerprint (PlanFingerprint)
+// to a short stable identifier — 64-bit FNV-1a in hex. The full
+// fingerprint is the cache key (exact, collision-free); the ID exists
+// only for reporting, where echoing whole rendered plans would bloat
+// every /cachez response. Clients correlate by computing
+// FingerprintID(PlanFingerprint(p, res)) for the keys they routed.
+func FingerprintID(fingerprint string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(fingerprint))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// EncodeCacheKeyStats returns the encode cache's per-key hit counts in
+// most-recently-used order, or nil when no cache is enabled. Evicted
+// entries drop their counts: the report attributes the *current* working
+// set, which is what affinity effectiveness is measured on.
+func (cm *CostModel) EncodeCacheKeyStats() []CacheKeyStats {
+	if cm.cache == nil {
+		return nil
+	}
+	return cm.cache.keyStats()
 }
 
 // PlanFingerprint returns the canonical (plan, resources) fingerprint —

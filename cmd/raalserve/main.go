@@ -32,7 +32,16 @@
 //	GET  /healthz   liveness
 //	GET  /readyz    readiness (503 once draining or saturated)
 //	GET  /fleetz    router only: live per-replica health/breaker state
+//	GET  /cachez    encode-cache per-key hit attribution (requires -model)
 //	GET  /metrics   Prometheus text exposition (serving + model telemetry)
+//	GET  /models    online mode: model registry status (champion, shadow, history)
+//	POST /models/promote | /models/rollback | /models/pin   registry admin
+//
+// With -online the replica closes the learning loop: each served deep
+// estimate's (plan, resources) is replayed on the cluster simulator, the
+// observed time feeds a replay reservoir and a rolling q-error drift
+// detector, and a drift trigger retrains a challenger that shadow-scores
+// against the champion before an atomic, zero-downtime promotion.
 //
 // The optional -admin listener serves /metrics (and, with -pprof, the
 // net/http/pprof handlers under /debug/pprof/) on a separate address so
@@ -84,6 +93,15 @@ func main() {
 		batchWin   = flag.Duration("batch-window", 0, "micro-batching collection window; concurrent requests within it coalesce into one forward pass (0 disables batching)")
 		batchMax   = flag.Int("batch-max", 0, "micro-batch size cap; a full batch flushes before the window expires (<= 1 disables batching; requires -model)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+
+		online         = flag.Bool("online", false, "close the learning loop: observe simulated execution times for served estimates, detect drift, retrain from a replay buffer, and hot-swap the champion (requires -model)")
+		onlineDir      = flag.String("online-dir", "", "online: model snapshot registry directory (empty = keep generations in memory only)")
+		replayCap      = flag.Int("replay-cap", 512, "online: replay reservoir capacity in samples")
+		driftWindow    = flag.Int("drift-window", 64, "online: sliding window of served q-errors watched by the drift detector")
+		driftThreshold = flag.Float64("drift-threshold", 2.0, "online: windowed q-error quantile value that dispatches a retrain")
+		minRetrain     = flag.Int("min-retrain", 64, "online: minimum replay occupancy before a drift trigger may retrain")
+		shadowMin      = flag.Int("shadow-min", 32, "online: feedback outcomes a challenger is shadow-scored on before the promote/reject verdict")
+		retrainEpochs  = flag.Int("retrain-epochs", 10, "online: warm-start training epochs per challenger")
 
 		route      = flag.String("route", "", `run as the fleet router over comma-separated replicas ("[id=]url,..."); all estimation flags except the benchmark ones are ignored`)
 		hedgeAfter = flag.Duration("hedge-after", 0, "router: fixed tail-hedging trigger (0 adapts to the observed p99; negative disables hedging)")
@@ -163,35 +181,124 @@ func main() {
 			"seed", *faultSeed, "panic_prob", *faultPanic, "error_prob", *faultError,
 			"delay_prob", *faultDelay, "delay", *faultDelayDur)
 	}
+	var (
+		cacheStats func() []serve.CacheKeyStats
+		modelAdmin http.Handler
+	)
 	if *modelPath != "" {
-		f, err := os.Open(*modelPath)
-		if err != nil {
-			fatal("opening model file", "error", err)
-		}
-		cm, err := raal.LoadCostModel(f)
-		f.Close()
+		cm, st, err := loadModelOrCheckpoint(*modelPath)
 		if err != nil {
 			fatal("loading model", "error", err)
 		}
 		cm.Instrument(reg)
 		cm.EnableEncodeCache(*encCache)
-		cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
-			return cm.EstimateCtx(ctx, p, res)
-		}
-		cfg.DeepBatch = func(ctx context.Context, plans []*physical.Plan, res sparksim.Resources) ([]float64, error) {
-			return cm.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
-		}
-		if *batchMax > 1 && *batchWin > 0 {
-			cfg.BatchWindow = *batchWin
-			cfg.BatchMax = *batchMax
-			cfg.DeepEach = func(ctx context.Context, items []serve.BatchItem) ([]float64, error) {
-				plans := make([]*physical.Plan, len(items))
-				res := make([]sparksim.Resources, len(items))
-				for i, it := range items {
-					plans[i] = it.Plan
-					res[i] = it.Res
+		if *encCache > 0 {
+			cacheStats = func() []serve.CacheKeyStats {
+				stats := cm.EncodeCacheKeyStats()
+				out := make([]serve.CacheKeyStats, len(stats))
+				for i, s := range stats {
+					out[i] = serve.CacheKeyStats{Key: s.Key, Hits: s.Hits}
 				}
-				return cm.EstimateEachCtx(ctx, plans, res, raal.PredictOpts{})
+				return out
+			}
+		}
+		if *online {
+			osrv, err := raal.NewOnlineServing(cm, st, raal.OnlineOptions{
+				Dir:            *onlineDir,
+				ReplayCap:      *replayCap,
+				DriftWindow:    *driftWindow,
+				DriftThreshold: *driftThreshold,
+				MinRetrain:     *minRetrain,
+				ShadowMin:      *shadowMin,
+				RetrainEpochs:  *retrainEpochs,
+				Seed:           *seed,
+				Metrics:        reg,
+				Logger:         logger,
+			})
+			if err != nil {
+				fatal("starting online learning", "error", err)
+			}
+			modelAdmin = osrv.AdminHandler()
+			// Feedback loop: every deep answer's (plan, resources) is
+			// re-executed on the cluster simulator — the substrate's ground
+			// truth — and the observed time flows back into the learning
+			// loop. One worker serializes both the simulator and the
+			// manager; a full queue drops feedback rather than stalling
+			// serving (learning is best-effort, answering is not).
+			type outcome struct {
+				plan *physical.Plan
+				res  sparksim.Resources
+				pred float64
+			}
+			feedback := make(chan outcome, 1024)
+			go func() {
+				for o := range feedback {
+					actual, err := sys.Cost(o.plan, o.res)
+					if err != nil {
+						continue
+					}
+					osrv.Feedback(o.plan, o.res, o.pred, actual)
+				}
+			}()
+			observe := func(p *physical.Plan, res sparksim.Resources, pred float64) {
+				select {
+				case feedback <- outcome{plan: p, res: res, pred: pred}:
+				default: // shed feedback under pressure, never block serving
+				}
+			}
+			cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+				c, err := osrv.EstimateCtx(ctx, p, res)
+				if err == nil {
+					observe(p, res, c)
+				}
+				return c, err
+			}
+			cfg.DeepBatch = func(ctx context.Context, plans []*physical.Plan, res sparksim.Resources) ([]float64, error) {
+				return osrv.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
+			}
+			if *batchMax > 1 && *batchWin > 0 {
+				cfg.BatchWindow = *batchWin
+				cfg.BatchMax = *batchMax
+				cfg.DeepEach = func(ctx context.Context, items []serve.BatchItem) ([]float64, error) {
+					plans := make([]*physical.Plan, len(items))
+					res := make([]sparksim.Resources, len(items))
+					for i, it := range items {
+						plans[i] = it.Plan
+						res[i] = it.Res
+					}
+					preds, err := osrv.EstimateEachCtx(ctx, plans, res, raal.PredictOpts{})
+					if err == nil {
+						for i := range preds {
+							observe(plans[i], res[i], preds[i])
+						}
+					}
+					return preds, err
+				}
+			}
+			logger.Info("online learning armed",
+				"variant", cm.Variant().Name, "model", *modelPath,
+				"registry", *onlineDir, "replay_cap", *replayCap,
+				"drift_window", *driftWindow, "drift_threshold", *driftThreshold,
+				"champion", osrv.ChampionVersion())
+		} else {
+			cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+				return cm.EstimateCtx(ctx, p, res)
+			}
+			cfg.DeepBatch = func(ctx context.Context, plans []*physical.Plan, res sparksim.Resources) ([]float64, error) {
+				return cm.EstimateBatchCtx(ctx, plans, res, raal.PredictOpts{})
+			}
+			if *batchMax > 1 && *batchWin > 0 {
+				cfg.BatchWindow = *batchWin
+				cfg.BatchMax = *batchMax
+				cfg.DeepEach = func(ctx context.Context, items []serve.BatchItem) ([]float64, error) {
+					plans := make([]*physical.Plan, len(items))
+					res := make([]sparksim.Resources, len(items))
+					for i, it := range items {
+						plans[i] = it.Plan
+						res[i] = it.Res
+					}
+					return cm.EstimateEachCtx(ctx, plans, res, raal.PredictOpts{})
+				}
 			}
 		}
 		logger.Info("serving deep model with GPSJ fallback armed",
@@ -200,6 +307,9 @@ func main() {
 	} else {
 		if *batchMax > 1 && *batchWin > 0 {
 			fatal("-batch-window/-batch-max require -model (the analytical path is not batched)")
+		}
+		if *online {
+			fatal("-online requires -model (there is no deep model to keep fresh)")
 		}
 		logger.Info("no -model given; serving GPSJ analytical estimates only")
 	}
@@ -222,6 +332,8 @@ func main() {
 		MaxCandidates: *candidates,
 		Metrics:       met,
 		Logger:        logger,
+		CacheStats:    cacheStats,
+		ModelAdmin:    modelAdmin,
 	})
 	if err != nil {
 		fatal("building handler", "error", err)
@@ -245,7 +357,7 @@ func main() {
 	if *adminAddr != "" {
 		adminSrv = &http.Server{
 			Addr:              *adminAddr,
-			Handler:           adminHandler(reg, *pprofOn),
+			Handler:           adminHandler(reg, *pprofOn, modelAdmin),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -404,12 +516,38 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
+// loadModelOrCheckpoint opens path as either a resumable checkpoint
+// (raaltrain -checkpoint) or a bare model file (raaltrain -out). A
+// checkpoint additionally yields the optimizer/shuffle state, which lets
+// -online warm-start challengers exactly where training left off; a bare
+// model starts online training state from scratch.
+func loadModelOrCheckpoint(path string) (*raal.CostModel, *raal.TrainState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if cm, st, err := raal.LoadCheckpoint(f); err == nil {
+		return cm, st, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, nil, err
+	}
+	cm, err := raal.LoadCostModel(f)
+	return cm, nil, err
+}
+
 // adminHandler serves the operational surfaces: /metrics always, the
 // pprof handlers only when explicitly enabled (profiles expose internals
-// and cost CPU, so they are opt-in rather than ambient).
-func adminHandler(reg *telemetry.Registry, pprofOn bool) http.Handler {
+// and cost CPU, so they are opt-in rather than ambient), and the model
+// registry admin surface when online learning is armed.
+func adminHandler(reg *telemetry.Registry, pprofOn bool, modelAdmin http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
+	if modelAdmin != nil {
+		mux.Handle("/models", modelAdmin)
+		mux.Handle("/models/", modelAdmin)
+	}
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", netpprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)

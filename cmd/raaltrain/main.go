@@ -5,6 +5,13 @@
 //
 //	raaltrain -bench imdb -queries 300 -epochs 30 -out model.raal
 //	raaltrain -variant NE-LSTM -queries 100 -epochs 10
+//	raaltrain -epochs 10 -checkpoint ck.raal             # stop early, keep state
+//	raaltrain -resume ck.raal -epochs 10 -out model.raal # continue bit-exactly
+//
+// -checkpoint saves a resumable checkpoint (model + optimizer state +
+// shuffle position) after training; -resume warm-starts from one and
+// continues with the same seeds, reproducing the uninterrupted longer
+// run bit for bit.
 package main
 
 import (
@@ -18,17 +25,19 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "imdb", "benchmark: imdb or tpch")
-		scale   = flag.Float64("scale", 0.1, "synthetic data scale factor")
-		queries = flag.Int("queries", 250, "generated queries")
-		states  = flag.Int("states", 3, "resource states per plan")
-		epochs  = flag.Int("epochs", 30, "training epochs")
-		lr      = flag.Float64("lr", 3e-3, "learning rate")
-		variant = flag.String("variant", "RAAL", "RAAL, NE-LSTM, NA-LSTM, or RAAC")
-		seed    = flag.Int64("seed", 1, "global seed")
-		out     = flag.String("out", "", "path to save the trained model (optional)")
-		workers = flag.Int("workers", 0, "training worker goroutines (0 = serial; results are identical for any value)")
-		shard   = flag.Int("shard", 0, "gradient-accumulation shard size (0 = whole batch)")
+		bench      = flag.String("bench", "imdb", "benchmark: imdb or tpch")
+		scale      = flag.Float64("scale", 0.1, "synthetic data scale factor")
+		queries    = flag.Int("queries", 250, "generated queries")
+		states     = flag.Int("states", 3, "resource states per plan")
+		epochs     = flag.Int("epochs", 30, "training epochs")
+		lr         = flag.Float64("lr", 3e-3, "learning rate")
+		variant    = flag.String("variant", "RAAL", "RAAL, NE-LSTM, NA-LSTM, or RAAC")
+		seed       = flag.Int64("seed", 1, "global seed")
+		out        = flag.String("out", "", "path to save the trained model (optional)")
+		workers    = flag.Int("workers", 0, "training worker goroutines (0 = serial; results are identical for any value)")
+		shard      = flag.Int("shard", 0, "gradient-accumulation shard size (0 = whole batch)")
+		resume     = flag.String("resume", "", "continue training from a checkpoint written by -checkpoint")
+		checkpoint = flag.String("checkpoint", "", "path to save a resumable checkpoint after training (optional)")
 	)
 	flag.Parse()
 
@@ -72,7 +81,7 @@ func main() {
 	epochs64 := reg.NewCounter("raal_train_epochs_total", "Completed training epochs.")
 	loss64 := reg.NewGauge("raal_train_epoch_loss", "Latest epoch's sample-weighted mean training loss (log-cost MSE).")
 	shards64 := reg.NewGauge("raal_train_shards_per_sec", "Latest epoch's gradient-shard throughput.")
-	cm, report, err := raal.TrainCostModel(ds, v, raal.TrainOptions{
+	opts := raal.TrainOptions{
 		Epochs: *epochs, LR: *lr, Seed: *seed,
 		Workers: *workers, ShardSize: *shard,
 		Metrics: reg,
@@ -80,9 +89,38 @@ func main() {
 			fmt.Printf("  epoch %2d: loss %.4f (%.0f shards/s)\n",
 				epochs64.Value(), loss64.Value(), shards64.Value())
 		},
-	})
-	if err != nil {
-		fatal(err)
+	}
+
+	var (
+		cm     *raal.CostModel
+		report *raal.TrainReport
+	)
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		var st *raal.TrainState
+		cm, st, err = raal.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *variant != "RAAL" && cm.Variant().Name != v.Name {
+			fatal(fmt.Errorf("checkpoint %s holds a %s model but -variant asked for %s — a checkpoint can only continue the architecture it was trained with",
+				*resume, cm.Variant().Name, v.Name))
+		}
+		v = cm.Variant()
+		fmt.Printf("resuming %s from %s (%d epochs already trained)\n", v.Name, *resume, st.Epochs)
+		report, err = raal.ResumeCostModel(cm, st, ds, opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cm, report, err = raal.TrainCostModel(ds, v, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("trained %s on %d samples in %v\n", v.Name, report.TrainSamples, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("held-out (%d samples): %s\n", report.TestSamples, report.Held)
@@ -97,6 +135,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("model saved to %s\n", *out)
+	}
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := raal.SaveCheckpoint(f, cm, report.State); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint saved to %s (resume with -resume %s)\n", *checkpoint, *checkpoint)
 	}
 }
 

@@ -129,6 +129,11 @@ type TrainReport struct {
 	// Held-out metrics (RE and COR/R² on seconds, MSE on the log-cost
 	// scale).
 	Held Metrics
+	// State is the run's resumable training state (optimizer moments and
+	// shuffle position). Persist it with SaveCheckpoint to continue the
+	// run later — ResumeCostModel from it reproduces an uninterrupted
+	// longer run bit for bit.
+	State *TrainState
 }
 
 // TrainCostModel fits an encoder on ds and trains a cost model of the
@@ -174,6 +179,7 @@ func TrainCostModel(ds *Dataset, v Variant, opt TrainOptions) (*CostModel, *Trai
 	if opt.Metrics != nil {
 		tc.Instr = core.NewInstrumentation(opt.Metrics)
 	}
+	tc.State = core.NewTrainState()
 
 	model, tr, err := core.Train(train, v, mc, tc)
 	if err != nil {
@@ -183,6 +189,7 @@ func TrainCostModel(ds *Dataset, v Variant, opt TrainOptions) (*CostModel, *Trai
 		TrainSamples: len(train),
 		TestSamples:  len(test),
 		LossCurve:    tr.LossCurve,
+		State:        tc.State,
 	}
 	if len(test) > 0 {
 		if report.Held, err = model.Evaluate(test); err != nil {

@@ -44,6 +44,17 @@ type TrainConfig struct {
 	// counter, latest epoch loss, and gradient-shard throughput. Nil
 	// trains unobserved.
 	Instr *Instrumentation
+	// State, if non-nil, warm-starts Fit from a previous run and records
+	// where this run stopped. On entry Fit restores the Adam step counter
+	// and moments from State.Opt (a mismatched snapshot — different
+	// architecture or config — is a descriptive error) and fast-forwards
+	// the shuffle RNG past the State.Epochs permutations the earlier run
+	// already consumed, so for a fixed sample sequence Fit(2k) bit-equals
+	// Fit(k) → Save → Load → Fit(k). On return Fit writes the updated
+	// optimizer snapshot and epoch count back into State, ready for the
+	// next continuation. A fresh NewTrainState() behaves like a cold
+	// start; nil trains cold without recording anything.
+	State *TrainState
 }
 
 // DefaultTrainConfig returns the settings used by the experiment harness.
@@ -108,6 +119,18 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 	for i := range idx {
 		idx[i] = i
 	}
+	if tc.State != nil {
+		if err := opt.Restore(params, tc.State.Opt); err != nil {
+			return nil, fmt.Errorf("core: cannot resume training: %w", err)
+		}
+		// Replay the permutations the earlier run consumed. This advances
+		// the RNG *and* leaves idx in the exact permutation state an
+		// uninterrupted run would carry into the next epoch — each epoch's
+		// shuffle composes with the previous ones, so both matter.
+		for e := 0; e < tc.State.Epochs; e++ {
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+	}
 
 	workers := tc.Workers
 	if workers <= 0 {
@@ -168,6 +191,10 @@ func (m *Model) Fit(samples []*encode.Sample, tc TrainConfig) (*TrainResult, err
 		}
 	}
 	result.Duration = time.Since(start)
+	if tc.State != nil {
+		tc.State.Opt = opt.Export(params)
+		tc.State.Epochs += tc.Epochs
+	}
 	return result, nil
 }
 

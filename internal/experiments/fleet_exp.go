@@ -48,6 +48,15 @@ type FleetBench struct {
 	Retries   uint64 `json:"retries"`
 	Failovers uint64 `json:"failovers"`
 	Hedges    uint64 `json:"hedges_fired"`
+	// Affinity effectiveness, measured from the replicas' own /cachez
+	// per-key hit attribution after the run (survivors only on kill
+	// runs). CacheHitRate is the fleet-wide fraction of deep lookups
+	// served from an already-warm encode-cache entry; AffinityHitFrac is
+	// the fraction of deep lookups that landed on the key's home replica
+	// (the one that served that key most) — 1.0 means consistent-hash
+	// routing kept every key on a single warm cache.
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	AffinityHitFrac float64 `json:"affinity_hit_frac"`
 }
 
 // FleetResult is the fleet scaling + availability report.
@@ -57,8 +66,8 @@ type FleetResult struct {
 
 // Print renders the scaling table with the 1-replica baseline speedup.
 func (r *FleetResult) Print(w io.Writer) {
-	fmt.Fprintf(w, "%-28s %9s %9s %9s %7s %6s %6s %9s %6s %6s\n",
-		"workload", "qps", "p50 ms", "p99 ms", "avail", "deep", "degr", "failover", "hedge", "scale")
+	fmt.Fprintf(w, "%-28s %9s %9s %9s %7s %6s %6s %9s %6s %6s %6s %6s\n",
+		"workload", "qps", "p50 ms", "p99 ms", "avail", "deep", "degr", "failover", "hedge", "cache", "affin", "scale")
 	var base float64
 	for _, b := range r.Benchmarks {
 		if b.Replicas == 1 && b.Kill == "none" {
@@ -70,9 +79,9 @@ func (r *FleetResult) Print(w io.Writer) {
 		if base > 0 && !(b.Replicas == 1 && b.Kill == "none") {
 			scale = fmt.Sprintf("%.2fx", b.QPS/base)
 		}
-		fmt.Fprintf(w, "%-28s %9.0f %9.3f %9.3f %7.3f %6.2f %6.2f %9d %6d %6s\n",
+		fmt.Fprintf(w, "%-28s %9.0f %9.3f %9.3f %7.3f %6.2f %6.2f %9d %6d %6.2f %6.2f %6s\n",
 			b.Name, b.QPS, b.P50Ms, b.P99Ms, b.Availability, b.DeepFrac, b.DegradedFrac,
-			b.Failovers, b.Hedges, scale)
+			b.Failovers, b.Hedges, b.CacheHitRate, b.AffinityHitFrac, scale)
 	}
 }
 
@@ -140,16 +149,57 @@ func Fleet(opt Options) (*FleetResult, error) {
 	return res, nil
 }
 
+// fleetFingerprint mirrors the router's default affinity key (plan
+// signature + resource vector) so the replica attributes its cache
+// entries under the exact key the router hashed on.
+func fleetFingerprint(p *physical.Plan, res sparksim.Resources) string {
+	var b strings.Builder
+	b.WriteString(p.Sig)
+	for _, v := range res.Vector() {
+		fmt.Fprintf(&b, ",%g", v)
+	}
+	return b.String()
+}
+
+// fleetCache is the experiment replica's stand-in for the encode cache:
+// a per-routed-key lookup counter. The first lookup of a key is the
+// encode miss that populates the entry; every later lookup is a hit the
+// warm entry serves. Its stats() is what the replica exposes on /cachez.
+type fleetCache struct {
+	mu      sync.Mutex
+	lookups map[string]uint64
+}
+
+func (c *fleetCache) touch(key string) {
+	c.mu.Lock()
+	c.lookups[key]++
+	c.mu.Unlock()
+}
+
+func (c *fleetCache) stats() []serve.CacheKeyStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]serve.CacheKeyStats, 0, len(c.lookups))
+	for k, n := range c.lookups {
+		out = append(out, serve.CacheKeyStats{Key: k, Hits: n - 1})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // fleetReplica is one real serving stack on a loopback listener.
 type fleetReplica struct {
-	srv *serve.Server
-	ts  *httptest.Server
+	srv   *serve.Server
+	ts    *httptest.Server
+	cache *fleetCache
 }
 
 func newFleetReplica(m *core.Model, bySig map[string]*encode.Sample, planner serve.PlanFunc) (*fleetReplica, error) {
 	po := core.PredictOpts{Workers: 1}
+	cache := &fleetCache{lookups: make(map[string]uint64)}
 	srv, err := serve.New(serve.Config{
-		Deep: func(ctx context.Context, p *physical.Plan, _ sparksim.Resources) (float64, error) {
+		Deep: func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
+			cache.touch(fleetFingerprint(p, res))
 			preds, err := m.PredictCtx(ctx, []*encode.Sample{bySig[p.Sig]}, po)
 			if err != nil {
 				return 0, err
@@ -162,11 +212,56 @@ func newFleetReplica(m *core.Model, bySig map[string]*encode.Sample, planner ser
 	if err != nil {
 		return nil, err
 	}
-	h, err := serve.NewHandler(srv, serve.HTTPConfig{Planner: planner})
+	h, err := serve.NewHandler(srv, serve.HTTPConfig{Planner: planner, CacheStats: cache.stats})
 	if err != nil {
 		return nil, err
 	}
-	return &fleetReplica{srv: srv, ts: httptest.NewServer(h)}, nil
+	return &fleetReplica{srv: srv, ts: httptest.NewServer(h), cache: cache}, nil
+}
+
+// scrapeAffinity fetches every surviving replica's /cachez and reduces
+// the per-key attributions to the two fleet-level affinity numbers: the
+// warm-hit rate and the fraction of lookups that landed on each key's
+// home replica. A killed replica's listener is gone, so kill runs score
+// survivors only — exactly the state an operator could observe.
+func scrapeAffinity(client *http.Client, reps []*fleetReplica, dead int) (hitRate, affinityFrac float64) {
+	perKey := make(map[string][]uint64) // lookups per replica that saw the key
+	var hits, lookups uint64
+	for i, r := range reps {
+		if i == dead {
+			continue
+		}
+		resp, err := client.Get(r.ts.URL + "/cachez")
+		if err != nil {
+			continue
+		}
+		var cs serve.CacheStatsResponse
+		derr := json.NewDecoder(resp.Body).Decode(&cs)
+		resp.Body.Close()
+		if derr != nil {
+			continue
+		}
+		for _, k := range cs.Keys {
+			n := k.Hits + 1 // hits + the populating miss
+			perKey[k.Key] = append(perKey[k.Key], n)
+			hits += k.Hits
+			lookups += n
+		}
+	}
+	if lookups == 0 {
+		return 0, 0
+	}
+	var home uint64
+	for _, counts := range perKey {
+		var max uint64
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		home += max
+	}
+	return float64(hits) / float64(lookups), float64(home) / float64(lookups)
 }
 
 // runFleetLoad drives one (replicas, kill) cell.
@@ -284,20 +379,27 @@ func runFleetLoad(m *core.Model, bySig map[string]*encode.Sample, plans []*physi
 		idx := int(p * float64(total-1))
 		return float64(durs[idx]) / float64(time.Millisecond)
 	}
+	dead := -1
+	if kill {
+		dead = nReplicas - 1
+	}
+	cacheHit, affinity := scrapeAffinity(client, reps, dead)
 	return FleetBench{
-		Name:         name,
-		NsOp:         float64(sum.Nanoseconds()) / float64(total),
-		N:            total,
-		Replicas:     nReplicas,
-		Kill:         map[bool]string{true: "mid-run", false: "none"}[kill],
-		QPS:          float64(total) / elapsed.Seconds(),
-		P50Ms:        pct(0.50),
-		P99Ms:        pct(0.99),
-		Availability: float64(deep.Load()+degraded.Load()) / float64(total),
-		DeepFrac:     float64(deep.Load()) / float64(total),
-		DegradedFrac: float64(degraded.Load()) / float64(total),
-		Retries:      met.Retries.Value(),
-		Failovers:    met.Failovers.Value(),
-		Hedges:       met.Hedges.With("fired").Value(),
+		Name:            name,
+		NsOp:            float64(sum.Nanoseconds()) / float64(total),
+		N:               total,
+		Replicas:        nReplicas,
+		Kill:            map[bool]string{true: "mid-run", false: "none"}[kill],
+		QPS:             float64(total) / elapsed.Seconds(),
+		P50Ms:           pct(0.50),
+		P99Ms:           pct(0.99),
+		Availability:    float64(deep.Load()+degraded.Load()) / float64(total),
+		DeepFrac:        float64(deep.Load()) / float64(total),
+		DegradedFrac:    float64(degraded.Load()) / float64(total),
+		Retries:         met.Retries.Value(),
+		Failovers:       met.Failovers.Value(),
+		Hedges:          met.Hedges.With("fired").Value(),
+		CacheHitRate:    cacheHit,
+		AffinityHitFrac: affinity,
 	}, nil
 }

@@ -67,6 +67,8 @@ func Registry() []Runner {
 			Run: func(o Options) (Report, error) { return Serve(o) }},
 		{Name: "fleet", Description: "extra: fleet router scaling 1→N replicas + kill-mid-run availability",
 			Run: func(o Options) (Report, error) { return Fleet(o) }},
+		{Name: "online", Description: "extra: seeded drift drill — workload shift, retrain, shadow-score, promote",
+			Run: func(o Options) (Report, error) { return Online(o) }},
 	}
 }
 

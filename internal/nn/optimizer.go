@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"raal/internal/tensor"
@@ -73,6 +74,68 @@ func NewAdam(lr float64) *Adam {
 		m: make(map[*Param]*tensor.Matrix),
 		v: make(map[*Param]*tensor.Matrix),
 	}
+}
+
+// AdamState is the serializable optimizer state: the step counter and the
+// first/second moment vectors keyed by parameter name. Together with the
+// weights it is everything Adam needs to continue a run as if it had
+// never stopped — see Export/Restore and core.TrainState.
+type AdamState struct {
+	T    int
+	M, V map[string][]float64
+}
+
+// Export copies the optimizer's moments for params into a snapshot keyed
+// by parameter name. Parameters the optimizer has not stepped yet (no
+// gradient ever reached them) are omitted; Restore treats absence as a
+// cold start for that parameter.
+func (a *Adam) Export(params []*Param) AdamState {
+	st := AdamState{T: a.t, M: map[string][]float64{}, V: map[string][]float64{}}
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			continue
+		}
+		st.M[p.Name] = append([]float64(nil), m.Data...)
+		st.V[p.Name] = append([]float64(nil), a.v[p].Data...)
+	}
+	return st
+}
+
+// Restore loads a previously Exported snapshot into the optimizer so the
+// next Step continues the original trajectory bit for bit. Every state
+// entry must match a parameter in params with the same element count —
+// a leftover or misshapen entry means the snapshot came from a different
+// architecture or configuration, which is rejected with a descriptive
+// error rather than silently corrupting the continuation.
+func (a *Adam) Restore(params []*Param, st AdamState) error {
+	byName := make(map[string]*Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for name, m := range st.M {
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: optimizer state holds parameter %q which this model does not have (architecture or config mismatch)", name)
+		}
+		v, ok := st.V[name]
+		if !ok {
+			return fmt.Errorf("nn: optimizer state for %q is missing its second moment (truncated or corrupt state)", name)
+		}
+		n := len(p.Var.Value.Data)
+		if len(m) != n || len(v) != n {
+			return fmt.Errorf("nn: optimizer state for %q holds %d/%d moment values but the parameter has %d (architecture or config mismatch)",
+				name, len(m), len(v), n)
+		}
+		mm := tensor.New(p.Var.Value.Rows, p.Var.Value.Cols)
+		vv := tensor.New(p.Var.Value.Rows, p.Var.Value.Cols)
+		copy(mm.Data, m)
+		copy(vv.Data, v)
+		a.m[p] = mm
+		a.v[p] = vv
+	}
+	a.t = st.T
+	return nil
 }
 
 // Step applies one Adam update and zeroes the gradients.

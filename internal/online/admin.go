@@ -1,0 +1,70 @@
+package online
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// adminError is the admin endpoint's JSON error envelope, mirroring the
+// serving API's shape.
+type adminError struct {
+	Error string `json:"error"`
+}
+
+// AdminHandler returns the /models admin surface:
+//
+//	GET  /models           — loop status: champion, drift, replay, shadow, versions
+//	POST /models/promote   — {"version": N}: make generation N the champion
+//	POST /models/rollback  — re-promote the previous champion
+//	POST /models/pin       — {"pinned": true|false}: freeze/unfreeze automation
+//
+// Handlers mutate serving state, so mount this on an operator-facing mux
+// (raalserve puts it on the admin listener, or the main mux when no admin
+// listener is configured).
+func (m *Manager) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		writeAdminJSON(w, http.StatusOK, m.Status())
+	})
+	mux.HandleFunc("POST /models/promote", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Version int `json:"version"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Version <= 0 {
+			writeAdminJSON(w, http.StatusBadRequest, adminError{Error: `body must be {"version": N} with N >= 1`})
+			return
+		}
+		if err := m.Promote(req.Version); err != nil {
+			writeAdminJSON(w, http.StatusNotFound, adminError{Error: err.Error()})
+			return
+		}
+		writeAdminJSON(w, http.StatusOK, m.Status())
+	})
+	mux.HandleFunc("POST /models/rollback", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Rollback(); err != nil {
+			writeAdminJSON(w, http.StatusConflict, adminError{Error: err.Error()})
+			return
+		}
+		writeAdminJSON(w, http.StatusOK, m.Status())
+	})
+	mux.HandleFunc("POST /models/pin", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Pinned *bool `json:"pinned"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Pinned == nil {
+			writeAdminJSON(w, http.StatusBadRequest, adminError{Error: `body must be {"pinned": true|false}`})
+			return
+		}
+		m.Pin(*req.Pinned)
+		writeAdminJSON(w, http.StatusOK, m.Status())
+	})
+	return mux
+}
+
+func writeAdminJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

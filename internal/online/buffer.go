@@ -1,0 +1,79 @@
+// Package online closes the train→serve→observe loop: observed execution
+// outcomes become labeled samples in a replay buffer, a drift detector
+// watches the rolling q-error of served predictions, and a manager
+// retrains a shadow "challenger" from the replay buffer (warm-starting
+// from the serving "champion") and atomically promotes it once it
+// out-scores the champion on live traffic. The whole loop is seeded and
+// deterministic for a fixed feedback sequence, which is what makes the
+// drift drill in the experiment harness and the promotion soak test
+// reproducible.
+package online
+
+import (
+	"math/rand"
+	"sync"
+
+	"raal/internal/encode"
+)
+
+// Reservoir is a seeded reservoir sampler (Algorithm R) over labeled
+// feedback samples: it retains a uniform sample of everything ever
+// offered while using bounded memory, so retraining sees both the old
+// distribution and the shifted one in proportion to their arrival counts.
+// Safe for concurrent use; deterministic for a fixed Add sequence.
+type Reservoir struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	buf  []*encode.Sample
+	cap  int
+	seen int64
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples,
+// with replacement decisions drawn from the given seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{rng: rand.New(rand.NewSource(seed)), cap: capacity}
+}
+
+// Add offers a sample. While the reservoir has room the sample is always
+// kept; afterwards it replaces a uniformly chosen resident with
+// probability cap/seen (Algorithm R), preserving uniformity over the
+// whole stream.
+func (r *Reservoir) Add(s *encode.Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, s)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.buf[j] = s
+	}
+}
+
+// Len returns how many samples the reservoir currently holds.
+func (r *Reservoir) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Seen returns how many samples have ever been offered.
+func (r *Reservoir) Seen() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Snapshot returns a copy of the current contents in insertion/
+// replacement order — a deterministic sequence for a deterministic Add
+// history, which warm-start Fit relies on for reproducible retraining.
+func (r *Reservoir) Snapshot() []*encode.Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*encode.Sample(nil), r.buf...)
+}

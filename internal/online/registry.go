@@ -1,0 +1,182 @@
+package online
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"raal/internal/core"
+)
+
+// Snapshot files open with their own magic so a model file dropped into
+// the registry directory is rejected as foreign, not mis-parsed.
+const (
+	snapshotMagic        = "RAALsnp"
+	snapshotVersion byte = 1
+	manifestName         = "MANIFEST.json"
+)
+
+// Registry is a versioned on-disk store of model snapshots. Each
+// snapshot file carries a magic header, the SHA-256 of its payload, and
+// the payload itself (serialized model followed by train state); Load
+// re-hashes the payload and refuses to return a model whose bytes have
+// rotted or been tampered with. A MANIFEST.json records which version is
+// the serving champion so a restarted server resumes from the exact
+// model that was serving, not merely the newest file.
+//
+// Writes are atomic: snapshots and the manifest are written to a temp
+// file in the same directory and renamed into place, so a crash mid-save
+// never leaves a half-written snapshot under a valid name.
+type Registry struct {
+	dir string
+}
+
+// Manifest is the registry's serving pointer.
+type Manifest struct {
+	// Champion is the version number currently serving, 0 if never set.
+	Champion int `json:"champion"`
+}
+
+// OpenRegistry opens (creating if needed) a snapshot registry rooted at dir.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("online: creating registry dir: %w", err)
+	}
+	return &Registry{dir: dir}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.dir }
+
+func (r *Registry) snapPath(version int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("snap-%05d.raal", version))
+}
+
+// Save writes version's model and train state as an integrity-checked
+// snapshot file, atomically.
+func (r *Registry) Save(version int, m *core.Model, st *core.TrainState) error {
+	if version <= 0 {
+		return fmt.Errorf("online: snapshot version must be positive, got %d", version)
+	}
+	var payload bytes.Buffer
+	if err := m.Save(&payload); err != nil {
+		return err
+	}
+	if st == nil {
+		st = core.NewTrainState()
+	}
+	if err := st.Save(&payload); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
+	var out bytes.Buffer
+	if err := core.WriteHeader(&out, snapshotMagic, snapshotVersion); err != nil {
+		return err
+	}
+	out.Write(sum[:])
+	out.Write(payload.Bytes())
+	return r.atomicWrite(r.snapPath(version), out.Bytes())
+}
+
+// Load reads and verifies snapshot file for version, returning its model
+// and train state. Corruption anywhere in the payload is caught by the
+// checksum before any gob decoding is attempted.
+func (r *Registry) Load(version int) (*core.Model, *core.TrainState, error) {
+	raw, err := os.ReadFile(r.snapPath(version))
+	if err != nil {
+		return nil, nil, fmt.Errorf("online: reading snapshot v%d: %w", version, err)
+	}
+	rd := bytes.NewReader(raw)
+	if err := core.ReadHeader(rd, snapshotMagic, snapshotVersion, "model snapshot"); err != nil {
+		return nil, nil, err
+	}
+	var sum [sha256.Size]byte
+	if _, err := io.ReadFull(rd, sum[:]); err != nil {
+		return nil, nil, fmt.Errorf("online: snapshot v%d truncated before its checksum: %w", version, err)
+	}
+	payload := raw[len(raw)-rd.Len():]
+	if got := sha256.Sum256(payload); got != sum {
+		return nil, nil, fmt.Errorf("online: snapshot v%d failed its integrity check (payload hash %x, recorded %x) — the file is corrupt",
+			version, got[:8], sum[:8])
+	}
+	pr := bytes.NewReader(payload)
+	m, err := core.LoadModel(pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := core.LoadTrainState(pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, st, nil
+}
+
+// List returns the stored snapshot versions in ascending order.
+func (r *Registry) List() ([]int, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("online: listing registry: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		var v int
+		if n, _ := fmt.Sscanf(e.Name(), "snap-%d.raal", &v); n == 1 && v > 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// WriteManifest atomically records the serving champion.
+func (r *Registry) WriteManifest(m Manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return r.atomicWrite(filepath.Join(r.dir, manifestName), append(raw, '\n'))
+}
+
+// ReadManifest returns the recorded manifest; a registry that has never
+// promoted reports a zero manifest, not an error.
+func (r *Registry) ReadManifest() (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(r.dir, manifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, nil
+	}
+	if err != nil {
+		return Manifest{}, fmt.Errorf("online: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("online: corrupt manifest: %w", err)
+	}
+	return m, nil
+}
+
+func (r *Registry) atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(r.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("online: creating temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("online: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("online: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("online: installing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -42,6 +42,28 @@ type HTTPConfig struct {
 	// Logger receives structured request and lifecycle logs; nil
 	// discards them.
 	Logger *slog.Logger
+	// CacheStats, if non-nil, exposes the replica's encode-cache per-key
+	// hit attribution as GET /cachez — the fleet benchmark correlates
+	// these keys with what it routed to measure affinity effectiveness.
+	CacheStats func() []CacheKeyStats
+	// ModelAdmin, if non-nil, is mounted at /models (and /models/...):
+	// the online-learning admin surface (list, promote, rollback, pin).
+	ModelAdmin http.Handler
+}
+
+// CacheKeyStats is one encode-cache entry's hit attribution as served by
+// GET /cachez: the short fingerprint ID of the cached (plan, resources)
+// key and how many lookups that entry has served. Mirrors the raal
+// package's type so the replica and its clients agree on the wire shape
+// without the serving layer importing the public package.
+type CacheKeyStats struct {
+	Key  string `json:"key"`
+	Hits uint64 `json:"hits"`
+}
+
+// CacheStatsResponse is the JSON body of GET /cachez.
+type CacheStatsResponse struct {
+	Keys []CacheKeyStats `json:"keys"`
 }
 
 // Handler is the HTTP surface over a Server: estimation endpoints plus
@@ -53,6 +75,10 @@ type HTTPConfig struct {
 //	GET  /readyz                   → 200 while admitting; 503 once draining
 //	GET  /metrics                  → Prometheus text exposition (when a
 //	                                 Metrics registry is configured)
+//	GET  /cachez                   → encode-cache per-key hit attribution
+//	                                 (when CacheStats is configured)
+//	/models, /models/...           → online-learning admin surface (when
+//	                                 ModelAdmin is configured)
 type Handler struct {
 	srv   *Server
 	cfg   HTTPConfig
@@ -87,6 +113,19 @@ func NewHandler(srv *Server, cfg HTTPConfig) (*Handler, error) {
 	h.mux.HandleFunc("POST /select", h.observed("select", h.handleSelect))
 	if reg := cfg.Metrics.Registry(); reg != nil {
 		h.mux.Handle("GET /metrics", reg.Handler())
+	}
+	if cfg.CacheStats != nil {
+		h.mux.HandleFunc("GET /cachez", func(w http.ResponseWriter, _ *http.Request) {
+			keys := cfg.CacheStats()
+			if keys == nil {
+				keys = []CacheKeyStats{}
+			}
+			writeJSON(w, http.StatusOK, CacheStatsResponse{Keys: keys})
+		})
+	}
+	if cfg.ModelAdmin != nil {
+		h.mux.Handle("/models", cfg.ModelAdmin)
+		h.mux.Handle("/models/", cfg.ModelAdmin)
 	}
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
