@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet bench-online chaos online vet fuzz cover check
+.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet bench-online chaos online quant bench-quant vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,25 @@ online:
 # pre-shift vs drift-peak vs post-promotion q-error.
 bench-online:
 	$(GO) run ./cmd/raalbench -exp online -json -outdir results
+
+# Quantized-path gate: the accuracy-gate and precision tests (typed
+# refusal + f64 fallback, bit-reproducible quantized predict, precision-
+# tagged cache isolation, requantize-on-promotion), then the committed
+# quant report checked against the paper-level bounds — the 0.9-quantile
+# q-error delta must stay ≤ 0.05 for both reduced precisions. Diffing
+# the report against itself makes the delta columns no-ops; the absolute
+# -metric bounds are the point: a bad baseline cannot be committed.
+quant:
+	$(GO) test -run 'Quant|Precision' -count=1 ./internal/core ./internal/online ./internal/tensor .
+	$(GO) run ./cmd/benchdiff \
+	    -metric 'qdelta_p90/f32<=0.05' -metric 'qdelta_p90/int8<=0.05' \
+	    -metric 'speedup/f32>=1.0' \
+	    results/BENCH_quant.json results/BENCH_quant.json
+
+# Re-measure the f64/f32/int8 predict latencies and q-error deltas
+# (results/BENCH_quant.json); compare runs with cmd/benchdiff.
+bench-quant:
+	$(GO) run ./cmd/raalbench -exp quant -json -outdir results
 
 vet:
 	$(GO) vet ./...

@@ -27,9 +27,23 @@ type encodeCache struct {
 }
 
 type cacheEntry struct {
-	key    string
-	sample *encode.Sample
-	hits   uint64 // lookups served from this entry since it was cached
+	key       string // full map key: precision tag + plan key
+	planKey   string
+	precision string
+	sample    *encode.Sample
+	hits      uint64 // lookups served from this entry since it was cached
+}
+
+// cacheKey joins the serving precision tag and the canonical plan key
+// into the cache's map key. Tagging keeps entries produced under
+// different serving precisions apart — hit attribution then tells an
+// operator which precision's traffic a warm entry is actually serving,
+// and a future precision-specific encoding (e.g. pre-narrowed f32
+// samples) can land without a key-scheme change. The plan key itself
+// (PlanFingerprint) stays precision-agnostic so fleet-router affinity
+// is unaffected by what precision a replica serves at.
+func cacheKey(precision, planKey string) string {
+	return precision + "\x1e" + planKey
 }
 
 func newEncodeCache(capacity int) *encodeCache {
@@ -40,10 +54,10 @@ func newEncodeCache(capacity int) *encodeCache {
 	}
 }
 
-func (c *encodeCache) get(key string) (*encode.Sample, bool) {
+func (c *encodeCache) get(precision, planKey string) (*encode.Sample, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.m[key]
+	el, ok := c.m[cacheKey(precision, planKey)]
 	if !ok {
 		return nil, false
 	}
@@ -60,12 +74,13 @@ func (c *encodeCache) keyStats() []CacheKeyStats {
 	out := make([]CacheKeyStats, 0, c.ll.Len())
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)
-		out = append(out, CacheKeyStats{Key: FingerprintID(e.key), Hits: e.hits})
+		out = append(out, CacheKeyStats{Key: FingerprintID(e.planKey), Precision: e.precision, Hits: e.hits})
 	}
 	return out
 }
 
-func (c *encodeCache) add(key string, s *encode.Sample) {
+func (c *encodeCache) add(precision, planKey string, s *encode.Sample) {
+	key := cacheKey(precision, planKey)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -73,7 +88,7 @@ func (c *encodeCache) add(key string, s *encode.Sample) {
 		el.Value.(*cacheEntry).sample = s
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, sample: s})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, planKey: planKey, precision: precision, sample: s})
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)
@@ -89,17 +104,23 @@ func (c *encodeCache) len() int {
 
 // CacheKeyStats is one encode-cache entry's hit attribution: how many
 // lookups the entry has served since it was cached, keyed by the short
-// fingerprint ID (see FingerprintID). Per-key attribution is what lets
-// the fleet benchmark tie a routed key's traffic to the replica whose
-// cache actually served it.
+// fingerprint ID (see FingerprintID) plus the serving precision the
+// entry was populated under. Per-key attribution is what lets the fleet
+// benchmark tie a routed key's traffic to the replica whose cache
+// actually served it; the precision tag splits that attribution when a
+// replica switches between the f64 reference path and a quantized one.
+// The fingerprint ID is precision-agnostic — the same (plan, resources)
+// pair reports the same Key at every precision, as distinct entries.
 type CacheKeyStats struct {
-	Key  string `json:"key"`
-	Hits uint64 `json:"hits"`
+	Key       string `json:"key"`
+	Precision string `json:"precision"`
+	Hits      uint64 `json:"hits"`
 }
 
 // FingerprintID condenses a canonical plan fingerprint (PlanFingerprint)
 // to a short stable identifier — 64-bit FNV-1a in hex. The full
-// fingerprint is the cache key (exact, collision-free); the ID exists
+// fingerprint is the cache key's plan half (exact, collision-free; see
+// cacheKey for the precision tag joined to it); the ID exists
 // only for reporting, where echoing whole rendered plans would bloat
 // every /cachez response. Clients correlate by computing
 // FingerprintID(PlanFingerprint(p, res)) for the keys they routed.

@@ -6,6 +6,26 @@
 //
 //	benchdiff old.json new.json                 # fail on >15% ns/op regression
 //	benchdiff -threshold 0.05 old.json new.json # tighter gate
+//	benchdiff -metric 'allocs_op=0' \
+//	          -metric 'qdelta_p90/f32<=0.05' \
+//	          -metric 'speedup/f32>=1.2' old.json new.json
+//
+// The -threshold flag gates every benchmark's ns/op as a relative
+// regression. Repeatable -metric flags add further gates:
+//
+//   - field=frac, field one of ns_op, allocs_op, bytes_op: the field may
+//     not regress by more than frac on any benchmark present in both
+//     reports (allocs_op=0 means "no new allocations, anywhere"). A
+//     baseline of exactly 0 tolerates no increase at all — a fraction of
+//     zero is meaningless, and a zero-alloc path going non-zero is
+//     precisely the regression worth catching.
+//   - name<=bound / name>=bound: an absolute bound on the named entry of
+//     the new report's top-level "metrics" map (raalbench -exp quant
+//     records q-error deltas and speedups there). A gated metric missing
+//     from the new report fails — silently dropping the measurement must
+//     not pass the gate.
+//   - name=frac for a metrics-map entry: relative gate against the old
+//     report's value, with the same zero-baseline rule as bench fields.
 //
 // Benchmarks present in only one file are reported but never fail the
 // diff, so adding or retiring a benchmark does not break the gate.
@@ -16,6 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 type bench struct {
@@ -26,13 +49,57 @@ type bench struct {
 }
 
 type report struct {
-	Benchmarks []bench `json:"benchmarks"`
+	Benchmarks []bench            `json:"benchmarks"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// gate is one parsed -metric flag.
+type gate struct {
+	name string
+	op   string // "=" (relative), "<=" or ">=" (absolute)
+	val  float64
+}
+
+func parseGate(spec string) (gate, error) {
+	for _, op := range []string{"<=", ">=", "="} {
+		if i := strings.Index(spec, op); i > 0 {
+			v, err := strconv.ParseFloat(spec[i+len(op):], 64)
+			if err != nil {
+				return gate{}, fmt.Errorf("bad -metric value in %q: %v", spec, err)
+			}
+			return gate{name: spec[:i], op: op, val: v}, nil
+		}
+	}
+	return gate{}, fmt.Errorf("bad -metric %q: want name=frac, name<=bound, or name>=bound", spec)
+}
+
+// benchField selects a gated per-benchmark field; ok is false for
+// metrics-map names.
+func benchField(b bench, name string) (float64, bool) {
+	switch name {
+	case "ns_op":
+		return b.NsOp, true
+	case "allocs_op":
+		return b.AllocsOp, true
+	case "bytes_op":
+		return b.BytesOp, true
+	}
+	return 0, false
 }
 
 func main() {
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated ns/op regression as a fraction (0.15 = +15%)")
+	var gates []gate
+	flag.Func("metric", "per-metric gate (repeatable): field=frac, name<=bound, or name>=bound", func(spec string) error {
+		g, err := parseGate(spec)
+		if err != nil {
+			return err
+		}
+		gates = append(gates, g)
+		return nil
+	})
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold frac] old.json new.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold frac] [-metric spec]... old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,8 +122,8 @@ func main() {
 		oldBy[b.Name] = b
 	}
 
+	var failures []string
 	fmt.Printf("%-24s %14s %14s %9s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
-	failed := false
 	seen := make(map[string]bool, len(newRep.Benchmarks))
 	for _, nb := range newRep.Benchmarks {
 		seen[nb.Name] = true
@@ -72,7 +139,7 @@ func main() {
 		mark := ""
 		if delta > *threshold {
 			mark = "  REGRESSION"
-			failed = true
+			failures = append(failures, fmt.Sprintf("%s: ns_op %+.1f%% exceeds +%.0f%%", nb.Name, delta*100, *threshold*100))
 		}
 		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%% %6.0f→%-6.0f%s\n",
 			nb.Name, ob.NsOp, nb.NsOp, delta*100, ob.AllocsOp, nb.AllocsOp, mark)
@@ -83,10 +150,113 @@ func main() {
 		}
 	}
 
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regressed beyond +%.0f%%\n", *threshold*100)
+	printMetrics(oldRep.Metrics, newRep.Metrics)
+
+	for _, g := range gates {
+		failures = append(failures, applyGate(g, oldRep, newRep, oldBy)...)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchdiff: FAIL:", f)
+		}
 		os.Exit(1)
 	}
+}
+
+// applyGate evaluates one gate against the pair of reports and returns
+// the failure messages it produced.
+func applyGate(g gate, oldRep, newRep *report, oldBy map[string]bench) []string {
+	var fails []string
+	if _, isField := benchField(bench{}, g.name); isField {
+		// Per-benchmark relative gate over every benchmark in both reports.
+		for _, nb := range newRep.Benchmarks {
+			ob, ok := oldBy[nb.Name]
+			if !ok {
+				continue
+			}
+			o, _ := benchField(ob, g.name)
+			n, _ := benchField(nb, g.name)
+			if bad, msg := relRegressed(o, n, g.val); bad {
+				fails = append(fails, fmt.Sprintf("%s: %s %s", nb.Name, g.name, msg))
+			}
+		}
+		return fails
+	}
+
+	n, ok := newRep.Metrics[g.name]
+	if !ok {
+		return []string{fmt.Sprintf("metric %q gated but absent from new report", g.name)}
+	}
+	switch g.op {
+	case "<=":
+		if n > g.val {
+			fails = append(fails, fmt.Sprintf("metric %s = %g exceeds bound %g", g.name, n, g.val))
+		}
+	case ">=":
+		if n < g.val {
+			fails = append(fails, fmt.Sprintf("metric %s = %g below bound %g", g.name, n, g.val))
+		}
+	case "=":
+		o, ok := oldRep.Metrics[g.name]
+		if !ok {
+			return []string{fmt.Sprintf("metric %q gated relatively but absent from old report", g.name)}
+		}
+		if bad, msg := relRegressed(o, n, g.val); bad {
+			fails = append(fails, fmt.Sprintf("metric %s %s", g.name, msg))
+		}
+	}
+	return fails
+}
+
+// relRegressed reports whether new regressed past old by more than frac.
+// A zero baseline tolerates no increase: a fraction of zero is undefined,
+// and zero→nonzero (a formerly alloc-free path allocating) is exactly the
+// class of regression a relative gate exists to catch.
+func relRegressed(o, n, frac float64) (bool, string) {
+	if o == 0 {
+		if n > 0 {
+			return true, fmt.Sprintf("went 0→%g (zero baseline tolerates no increase)", n)
+		}
+		return false, ""
+	}
+	if d := n/o - 1; d > frac {
+		return true, fmt.Sprintf("%g→%g (%+.1f%% exceeds +%.0f%%)", o, n, d*100, frac*100)
+	}
+	return false, ""
+}
+
+// printMetrics renders the union of both reports' metrics maps, keyed
+// alphabetically, so the table is stable across runs.
+func printMetrics(oldM, newM map[string]float64) {
+	if len(oldM) == 0 && len(newM) == 0 {
+		return
+	}
+	keys := make(map[string]bool, len(oldM)+len(newM))
+	for k := range oldM {
+		keys[k] = true
+	}
+	for k := range newM {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("\n%-24s %14s %14s\n", "metric", "old", "new")
+	for _, k := range sorted {
+		fmt.Printf("%-24s %14s %14s\n", k, fmtMetric(oldM, k), fmtMetric(newM, k))
+	}
+}
+
+func fmtMetric(m map[string]float64, k string) string {
+	v, ok := m[k]
+	if !ok {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
 func load(path string) (*report, error) {
@@ -98,8 +268,8 @@ func load(path string) (*report, error) {
 	if err := json.Unmarshal(raw, &r); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Benchmarks) == 0 {
-		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	if len(r.Benchmarks) == 0 && len(r.Metrics) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks or metrics in report", path)
 	}
 	return &r, nil
 }

@@ -27,6 +27,7 @@ func main() {
 		memMB     = flag.Float64("mem", 4096, "executor memory (MB)")
 		seed      = flag.Int64("seed", 1, "global seed")
 		modelPath = flag.String("model", "", "trained cost model (from raaltrain -out) for plan selection")
+		precision = flag.String("precision", "f64", "with -model, inference precision: f64, f32, or int8 (reduced precisions quantize the loaded model)")
 		explain   = flag.Bool("explain", false, "print the per-stage cost breakdown of each plan")
 		trace     = flag.Bool("trace", false, "with -model, print the model's per-stage inference timing for the picked plan")
 		dotPath   = flag.String("dot", "", "write the cheapest plan as Graphviz DOT to this file")
@@ -94,6 +95,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		prec, err := raal.ParsePrecision(*precision)
+		if err != nil {
+			fatal(err)
+		}
+		// Ungated interactive install: raalquery is a debugging tool, so
+		// the pick is quantized without the serving layer's accuracy gate.
+		if err := cm.EnablePrecision(prec, nil, 0); err != nil {
+			fatal(err)
+		}
 		best, pred := cm.SelectPlan(plans, res)
 		for i, p := range plans {
 			if p == best {
@@ -102,7 +112,7 @@ func main() {
 		}
 		if *trace {
 			_, sp := cm.EstimateTraced(best, res)
-			fmt.Printf("inference breakdown (%v total):\n", sp.Total())
+			fmt.Printf("inference breakdown [%s] (%v total):\n", cm.Precision(), sp.Total())
 			for _, st := range sp.Stages() {
 				fmt.Printf("  %-10s %v\n", st.Name, st.Dur)
 			}

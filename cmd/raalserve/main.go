@@ -10,6 +10,8 @@
 //	raalserve -deadline 200ms -on-deadline fail       # 504 instead of fallback
 //	raalserve -model model.raal \
 //	          -batch-window 2ms -batch-max 16         # micro-batch concurrent requests
+//	raalserve -model model.raal -precision int8       # quantized inference behind the
+//	                                                  # accuracy gate (f64 on refusal)
 //	raalserve -admin :8081 -pprof                     # admin listener + profiling
 //	raalserve -route "http://10.0.0.7:8080,http://10.0.0.8:8080"
 //	                                                  # fleet router over replicas
@@ -90,6 +92,8 @@ func main() {
 		onDeadline = flag.String("on-deadline", "fallback", "deadline-miss policy: fallback (degrade to GPSJ) or fail (504)")
 		candidates = flag.Int("max-candidates", 3, "candidate plans priced by /select")
 		encCache   = flag.Int("encode-cache", 256, "feature-encoding LRU capacity in plans (0 disables; repeated plans skip re-encoding)")
+		precision  = flag.String("precision", "f64", "serving numeric precision: f64, f32, or int8 (requires -model); reduced precisions quantize the model behind an accuracy gate and serve f64 when the gate refuses")
+		quantGate  = flag.Float64("quant-gate", 0.05, "accuracy-gate bound for reduced precisions: maximum p90 q-error delta between quantized and f64 predictions over a sampled gate workload")
 		batchWin   = flag.Duration("batch-window", 0, "micro-batching collection window; concurrent requests within it coalesce into one forward pass (0 disables batching)")
 		batchMax   = flag.Int("batch-max", 0, "micro-batch size cap; a full batch flushes before the window expires (<= 1 disables batching; requires -model)")
 		drainGrace = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
@@ -185,6 +189,13 @@ func main() {
 		cacheStats func() []serve.CacheKeyStats
 		modelAdmin http.Handler
 	)
+	prec, err := raal.ParsePrecision(*precision)
+	if err != nil {
+		fatal("parsing -precision", "error", err)
+	}
+	if *modelPath == "" && prec != raal.PrecisionF64 {
+		fatal("-precision requires -model (the analytical path has no quantized form)")
+	}
 	if *modelPath != "" {
 		cm, st, err := loadModelOrCheckpoint(*modelPath)
 		if err != nil {
@@ -197,9 +208,25 @@ func main() {
 				stats := cm.EncodeCacheKeyStats()
 				out := make([]serve.CacheKeyStats, len(stats))
 				for i, s := range stats {
-					out[i] = serve.CacheKeyStats{Key: s.Key, Hits: s.Hits}
+					out[i] = serve.CacheKeyStats{Key: s.Key, Precision: s.Precision, Hits: s.Hits}
 				}
 				return out
+			}
+		}
+		// The accuracy gate scores the quantized snapshot against the f64
+		// reference on a sampled benchmark workload; collect it once at
+		// startup (it also seeds the online loop's bootstrap gate).
+		var gate []*raal.Sample
+		servingPrec := func() string { return cm.Precision().String() }
+		if prec != raal.PrecisionF64 {
+			if gate, err = quantGateSamples(sys, cm, *seed); err != nil {
+				fatal("collecting quantization gate workload", "error", err)
+			}
+			if !*online {
+				if err := cm.EnablePrecision(prec, gate, *quantGate); err != nil {
+					logger.Warn("quantization gate refused; serving f64",
+						"precision", prec.String(), "error", err)
+				}
 			}
 		}
 		if *online {
@@ -212,6 +239,9 @@ func main() {
 				ShadowMin:      *shadowMin,
 				RetrainEpochs:  *retrainEpochs,
 				Seed:           *seed,
+				Precision:      prec,
+				GateSamples:    gate,
+				MaxQDelta:      *quantGate,
 				Metrics:        reg,
 				Logger:         logger,
 			})
@@ -219,6 +249,7 @@ func main() {
 				fatal("starting online learning", "error", err)
 			}
 			modelAdmin = osrv.AdminHandler()
+			servingPrec = func() string { return osrv.Precision().String() }
 			// Feedback loop: every deep answer's (plan, resources) is
 			// re-executed on the cluster simulator — the substrate's ground
 			// truth — and the observed time flows back into the learning
@@ -279,7 +310,7 @@ func main() {
 				"variant", cm.Variant().Name, "model", *modelPath,
 				"registry", *onlineDir, "replay_cap", *replayCap,
 				"drift_window", *driftWindow, "drift_threshold", *driftThreshold,
-				"champion", osrv.ChampionVersion())
+				"champion", osrv.ChampionVersion(), "precision", osrv.Precision().String())
 		} else {
 			cfg.Deep = func(ctx context.Context, p *physical.Plan, res sparksim.Resources) (float64, error) {
 				return cm.EstimateCtx(ctx, p, res)
@@ -303,7 +334,7 @@ func main() {
 		}
 		logger.Info("serving deep model with GPSJ fallback armed",
 			"variant", cm.Variant().Name, "model", *modelPath, "encode_cache", *encCache,
-			"batch_window", *batchWin, "batch_max", *batchMax)
+			"batch_window", *batchWin, "batch_max", *batchMax, "precision", servingPrec())
 	} else {
 		if *batchMax > 1 && *batchWin > 0 {
 			fatal("-batch-window/-batch-max require -model (the analytical path is not batched)")
@@ -535,6 +566,18 @@ func loadModelOrCheckpoint(path string) (*raal.CostModel, *raal.TrainState, erro
 	}
 	cm, err := raal.LoadCostModel(f)
 	return cm, nil, err
+}
+
+// quantGateSamples collects a small benchmark workload and encodes it
+// with the model's fitted encoder: the reference set the quantization
+// accuracy gate scores both precisions on (f64 predictions as reference,
+// no labels needed — see raal.CostModel.EnablePrecision).
+func quantGateSamples(sys *raal.System, cm *raal.CostModel, seed int64) ([]*raal.Sample, error) {
+	ds, err := sys.Collect(raal.CollectOptions{NumQueries: 24, ResStatesPerPlan: 2, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return cm.EncodeDataset(ds), nil
 }
 
 // adminHandler serves the operational surfaces: /metrics always, the

@@ -23,10 +23,12 @@ const (
 // CostModel is a trained end-to-end cost estimator: a fitted feature
 // encoder plus a deep network of some Variant.
 type CostModel struct {
-	enc   *encode.Encoder
-	model *core.Model
-	api   apiCounters
-	cache *encodeCache // nil until EnableEncodeCache
+	enc    *encode.Encoder
+	model  *core.Model
+	qmodel *core.QModel // nil while serving the f64 reference path; see EnablePrecision
+	instr  *core.Instrumentation
+	api    apiCounters
+	cache  *encodeCache // nil until EnableEncodeCache
 }
 
 // apiCounters tracks public estimation-API usage. The zero value (nil
@@ -37,6 +39,7 @@ type apiCounters struct {
 	recommends *telemetry.Counter // RecommendResources* calls
 	encHits    *telemetry.Counter // encode-cache lookups served without re-encoding
 	encMisses  *telemetry.Counter // encode-cache lookups that fell through to EncodePlan
+	gateFails  *telemetry.Counter // quantized snapshots refused by the accuracy gate
 }
 
 // Instrument registers this model's telemetry on reg: API call counters
@@ -60,7 +63,13 @@ func (cm *CostModel) Instrument(reg *telemetry.Registry) {
 		"Plan encodings served from the feature-encoding cache.")
 	cm.api.encMisses = reg.NewCounter("raal_encode_cache_misses_total",
 		"Plan encodings that missed the feature-encoding cache.")
-	cm.model.Instrument(core.NewInstrumentation(reg))
+	cm.api.gateFails = reg.NewCounter("raal_quant_gate_failures_total",
+		"Quantized model snapshots refused by the accuracy gate (serving stayed on float64).")
+	cm.instr = core.NewInstrumentation(reg)
+	cm.model.Instrument(cm.instr)
+	if cm.qmodel != nil {
+		cm.qmodel.Instrument(cm.instr)
+	}
 }
 
 // EnableEncodeCache attaches an LRU of up to capacity encoded plans to the
@@ -81,19 +90,108 @@ func (cm *CostModel) EnableEncodeCache(capacity int) {
 
 // encodePlan is the cache-aware front door to the encoder: every
 // estimation path routes through it so hit accounting stays consistent.
+// Cache entries are tagged with the active serving precision, so a
+// precision switch starts attributing (and warming) its own entries
+// instead of inheriting the previous mode's hit counts.
 func (cm *CostModel) encodePlan(p *Plan, res Resources) *Sample {
+	return cm.encodePlanAt(cm.Precision().String(), p, res)
+}
+
+// encodePlanAt is encodePlan with an explicit precision tag. The online
+// serving layer passes the live champion's precision, which can differ
+// from cm's own (the champion hot-swaps and may fall back to f64 on a
+// gate refusal).
+func (cm *CostModel) encodePlanAt(prec string, p *Plan, res Resources) *Sample {
 	if cm.cache == nil {
 		return cm.enc.EncodePlan(p, res)
 	}
 	key := planKey(p, res)
-	if s, ok := cm.cache.get(key); ok {
+	if s, ok := cm.cache.get(prec, key); ok {
 		cm.api.encHits.Inc()
 		return s
 	}
 	cm.api.encMisses.Inc()
 	s := cm.enc.EncodePlan(p, res)
-	cm.cache.add(key, s)
+	cm.cache.add(prec, key, s)
 	return s
+}
+
+// Precision reports the numeric format the estimation APIs currently
+// serve at: PrecisionF64 until EnablePrecision installs a quantized
+// snapshot, then that snapshot's precision.
+func (cm *CostModel) Precision() core.Precision {
+	if cm.qmodel != nil {
+		return cm.qmodel.Precision
+	}
+	return core.PrecisionF64
+}
+
+// EnablePrecision switches the serving precision of every estimation
+// API. PrecisionF64 restores the float64 reference path (always
+// succeeds). A reduced precision quantizes the trained model
+// (core.Model.Quantize) and — when gate samples are supplied — runs the
+// accuracy gate (core.VerifyQuantized) before installing it: the
+// GateQuantile q-error delta between the quantized and float64
+// predictions over gate must stay within maxQDelta. On refusal the
+// typed *core.QuantGateError is returned, raal_quant_gate_failures_total
+// is incremented (when instrumented), and serving keeps its previous
+// precision. An empty gate set installs without verification — for
+// interactive tools; serving paths should always gate.
+//
+// Like EnableEncodeCache, call at wiring time, before the model starts
+// serving; the switch is not synchronized against in-flight estimates.
+func (cm *CostModel) EnablePrecision(p core.Precision, gate []*Sample, maxQDelta float64) error {
+	if p == core.PrecisionF64 {
+		cm.qmodel = nil
+		return nil
+	}
+	qm, err := cm.model.Quantize(core.QuantConfig{Precision: p})
+	if err != nil {
+		return err
+	}
+	if len(gate) > 0 {
+		if err := core.VerifyQuantized(cm.model, qm, gate, maxQDelta); err != nil {
+			cm.api.gateFails.Inc()
+			return err
+		}
+	}
+	if cm.instr != nil {
+		qm.Instrument(cm.instr)
+	}
+	cm.qmodel = qm
+	return nil
+}
+
+// predict/predictWith/predictCtx/predictSpan dispatch one forward pass
+// to the active precision's model. Every estimation API routes through
+// these, so a precision switch covers Estimate, SelectPlan, and
+// RecommendResources uniformly.
+func (cm *CostModel) predict(samples []*Sample) []float64 {
+	if q := cm.qmodel; q != nil {
+		return q.Predict(samples)
+	}
+	return cm.model.Predict(samples)
+}
+
+func (cm *CostModel) predictWith(samples []*Sample, opt core.PredictOpts) []float64 {
+	if q := cm.qmodel; q != nil {
+		return q.PredictWith(samples, opt)
+	}
+	return cm.model.PredictWith(samples, opt)
+}
+
+func (cm *CostModel) predictCtx(ctx context.Context, samples []*Sample, opt core.PredictOpts) ([]float64, error) {
+	if q := cm.qmodel; q != nil {
+		return q.PredictCtx(ctx, samples, opt)
+	}
+	return cm.model.PredictCtx(ctx, samples, opt)
+}
+
+func (cm *CostModel) predictSpan(samples []*Sample, sp *telemetry.Span) []float64 {
+	if q := cm.qmodel; q != nil {
+		return q.PredictSpan(samples, sp)
+	}
+	return cm.model.PredictSpan(samples, sp)
 }
 
 // TrainOptions controls cost-model training.
@@ -210,21 +308,23 @@ func (cm *CostModel) Variant() Variant { return cm.model.Var }
 func (cm *CostModel) Estimate(p *Plan, res Resources) float64 {
 	cm.api.estimates.Inc()
 	s := cm.encodePlan(p, res)
-	return cm.model.Predict([]*Sample{s})[0]
+	return cm.predict([]*Sample{s})[0]
 }
 
 // EstimateTraced is Estimate with a per-stage wall-time breakdown: the
 // returned span is already ended and decomposes the call into encode →
 // embed → lstm/conv → attention → dense → decode stages (stage durations
-// sum to at most the span total). Tracing is observation-only — the
-// prediction is bit-identical to Estimate.
+// sum to at most the span total). The span name carries the active
+// serving precision ("estimate[f64]", "estimate[int8]", ...) so traces
+// from different precisions are distinguishable. Tracing is
+// observation-only — the prediction is bit-identical to Estimate.
 func (cm *CostModel) EstimateTraced(p *Plan, res Resources) (float64, *telemetry.Span) {
 	cm.api.estimates.Inc()
-	sp := telemetry.StartSpan("estimate")
+	sp := telemetry.StartSpan("estimate[" + cm.Precision().String() + "]")
 	stop := sp.Stage("encode")
 	s := cm.encodePlan(p, res)
 	stop()
-	preds := cm.model.PredictSpan([]*Sample{s}, sp)
+	preds := cm.predictSpan([]*Sample{s}, sp)
 	sp.End()
 	return preds[0], sp
 }
@@ -234,7 +334,7 @@ func (cm *CostModel) EstimateTraced(p *Plan, res Resources) (float64, *telemetry
 func (cm *CostModel) EstimateCtx(ctx context.Context, p *Plan, res Resources) (float64, error) {
 	cm.api.estimates.Inc()
 	s := cm.encodePlan(p, res)
-	preds, err := cm.model.PredictCtx(ctx, []*Sample{s}, core.PredictOpts{})
+	preds, err := cm.predictCtx(ctx, []*Sample{s}, core.PredictOpts{})
 	if err != nil {
 		return 0, err
 	}
@@ -251,7 +351,7 @@ func (cm *CostModel) EstimateBatch(plans []*Plan, res Resources) []float64 {
 // settings; predictions are identical for every opt.
 func (cm *CostModel) EstimateBatchWith(plans []*Plan, res Resources, opt core.PredictOpts) []float64 {
 	cm.api.estimates.Inc()
-	return cm.model.PredictWith(cm.planSamples(plans, res), opt)
+	return cm.predictWith(cm.planSamples(plans, res), opt)
 }
 
 // EstimateBatchCtx is EstimateBatchWith with cooperative cancellation: a
@@ -260,7 +360,7 @@ func (cm *CostModel) EstimateBatchWith(plans []*Plan, res Resources, opt core.Pr
 // bit-identical to EstimateBatchWith.
 func (cm *CostModel) EstimateBatchCtx(ctx context.Context, plans []*Plan, res Resources, opt core.PredictOpts) ([]float64, error) {
 	cm.api.estimates.Inc()
-	return cm.model.PredictCtx(ctx, cm.planSamples(plans, res), opt)
+	return cm.predictCtx(ctx, cm.planSamples(plans, res), opt)
 }
 
 // EstimateEachCtx predicts costs for many independent (plan, resources)
@@ -278,7 +378,7 @@ func (cm *CostModel) EstimateEachCtx(ctx context.Context, plans []*Plan, res []R
 	for i, p := range plans {
 		samples[i] = cm.encodePlan(p, res[i])
 	}
-	return cm.model.PredictCtx(ctx, samples, opt)
+	return cm.predictCtx(ctx, samples, opt)
 }
 
 func (cm *CostModel) planSamples(plans []*Plan, res Resources) []*Sample {
@@ -296,7 +396,7 @@ func (cm *CostModel) SelectPlan(plans []*Plan, res Resources) (*Plan, float64) {
 		return nil, 0
 	}
 	cm.api.selects.Inc()
-	preds := cm.model.Predict(cm.planSamples(plans, res))
+	preds := cm.predict(cm.planSamples(plans, res))
 	best := argmin(preds)
 	return plans[best], preds[best]
 }
@@ -308,7 +408,7 @@ func (cm *CostModel) SelectPlanCtx(ctx context.Context, plans []*Plan, res Resou
 		return nil, 0, nil
 	}
 	cm.api.selects.Inc()
-	preds, err := cm.model.PredictCtx(ctx, cm.planSamples(plans, res), core.PredictOpts{})
+	preds, err := cm.predictCtx(ctx, cm.planSamples(plans, res), core.PredictOpts{})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -334,7 +434,7 @@ func (cm *CostModel) RecommendResourcesWith(p *Plan, grid []Resources, opt core.
 		return Resources{}, 0
 	}
 	cm.api.recommends.Inc()
-	preds := cm.model.PredictWith(cm.gridSamples(p, grid), opt)
+	preds := cm.predictWith(cm.gridSamples(p, grid), opt)
 	best := argmin(preds)
 	return grid[best], preds[best]
 }
@@ -347,7 +447,7 @@ func (cm *CostModel) RecommendResourcesCtx(ctx context.Context, p *Plan, grid []
 		return Resources{}, 0, nil
 	}
 	cm.api.recommends.Inc()
-	preds, err := cm.model.PredictCtx(ctx, cm.gridSamples(p, grid), core.PredictOpts{})
+	preds, err := cm.predictCtx(ctx, cm.gridSamples(p, grid), core.PredictOpts{})
 	if err != nil {
 		return Resources{}, 0, err
 	}

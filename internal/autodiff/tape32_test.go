@@ -1,0 +1,115 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"raal/internal/tensor"
+)
+
+func randM32(rng *rand.Rand, rows, cols int) *tensor.Matrix32 {
+	m := tensor.New32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// TestTape32OpsMatchFloat64 runs each f32 op against its float64 Tape
+// counterpart on the same (narrowed) inputs and requires agreement within
+// f32 rounding tolerance — the ops must differ only in storage precision,
+// never in semantics. The transcendental ops (tanh, sigmoid, softmax) get
+// a looser 2e-5 bound: they run through the fast f32 kernels
+// (tensor.Sigmoid32's interpolated table, tensor.Exp32), whose ≲1e-5
+// absolute error is the documented trade for skipping the float64 math
+// library on the hot path.
+func TestTape32OpsMatchFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tp64 := NewInferenceTape()
+	tp32 := NewTape32()
+
+	a64 := tensor.Randn(6, 8, 1, rng)
+	b64 := tensor.Randn(8, 5, 1, rng)
+	a32, b32 := tensor.ToMatrix32(a64), tensor.ToMatrix32(b64)
+
+	check := func(label string, got *tensor.Matrix32, want *Var, tol float64) {
+		t.Helper()
+		if got.Rows != want.Value.Rows || got.Cols != want.Value.Cols {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Value.Rows, want.Value.Cols)
+		}
+		for i, v := range got.Data {
+			if math.Abs(float64(v)-want.Value.Data[i]) > tol {
+				t.Fatalf("%s: element %d = %g, want %g", label, i, v, want.Value.Data[i])
+			}
+		}
+	}
+
+	av, bv := tp64.Const(a64), tp64.Const(b64)
+	check("matmul", tp32.MatMul(a32, b32), tp64.MatMul(av, bv), 1e-4)
+	check("tanh", tp32.Tanh(a32), tp64.Tanh(av), 2e-5)
+	check("scale", tp32.Scale(a32, 0.5), tp64.Scale(av, 0.5), 1e-6)
+	check("sliceCols", tp32.SliceCols(a32, 2, 7), tp64.SliceCols(av, 2, 7), 1e-6)
+
+	mask := []bool{true, false, true, true, false, true}
+	check("meanRowsMasked", tp32.MeanRowsMasked(a32, mask), tp64.MeanRowsMasked(av, mask), 1e-6)
+
+	cmask := []bool{true, true, false, true, false, true, true, true}
+	check("softmaxRows", tp32.SoftmaxRows(a32, cmask), tp64.SoftmaxRows(av, cmask), 2e-5)
+
+	mask2d := make([][]bool, 6)
+	for i := range mask2d {
+		mask2d[i] = make([]bool, 8)
+		for j := range mask2d[i] {
+			mask2d[i][j] = rng.Intn(2) == 0
+		}
+	}
+	check("softmaxMask2D", tp32.SoftmaxRowsMask2D(a32, mask2d), tp64.SoftmaxRowsMask2D(av, mask2d), 2e-5)
+
+	r64 := tensor.Randn(1, 8, 1, rng)
+	r32 := tensor.ToMatrix32(r64)
+	rv := tp64.Const(r64)
+	check("addRowAct/sigmoid", tp32.AddRowAct(a32, r32, tensor.ActSigmoid), tp64.AddRowApply(av, rv, ActSigmoid), 2e-5)
+
+	check("im2col", tp32.Im2ColRows(a32, 3), tp64.Im2ColRows(av, 3), 1e-6)
+	check("concatCols", tp32.ConcatCols(a32, a32), tp64.ConcatCols(av, av), 1e-6)
+	check("concatRows", tp32.ConcatRows(a32, a32), tp64.ConcatRows(av, av), 1e-6)
+	check("gatherRows", tp32.GatherRows([]*tensor.Matrix32{a32, a32}, 3), tp64.GatherRows([]*Var{av, av}, 3), 1e-6)
+
+	small64 := tensor.Randn(2, 8, 1, rng)
+	small32 := tensor.ToMatrix32(small64)
+	check("addRowsAt", tp32.AddRowsAt(a32, 2, small32), tp64.AddRowsAt(av, 2, tp64.Const(small64)), 1e-6)
+}
+
+// TestTape32WarmReplayReusesArena pins the arena contract: after Reset, an
+// identical op sequence returns pointer-identical matrices backed by the
+// same slabs, and the steady state allocates zero new f32 matrices.
+func TestTape32WarmReplayReusesArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tp := NewTape32()
+	a := randM32(rng, 16, 16)
+	b := randM32(rng, 16, 16)
+
+	run := func() *tensor.Matrix32 {
+		h := tp.MatMul(a, b)
+		h = tp.Tanh(h)
+		return tp.Add(h, a)
+	}
+	first := run()
+	want := first.Clone()
+	tp.Reset()
+
+	before := tensor.Allocs32()
+	second := run()
+	if got := tensor.Allocs32() - before; got != 0 {
+		t.Fatalf("warm replay allocated %d matrices, want 0", got)
+	}
+	if first != second {
+		t.Fatalf("warm replay returned a different header: %p vs %p", first, second)
+	}
+	for i, v := range second.Data {
+		if v != want.Data[i] {
+			t.Fatalf("warm replay element %d = %g, want %g", i, v, want.Data[i])
+		}
+	}
+}

@@ -395,6 +395,12 @@ type chunkRange struct{ lo, hi int }
 // is untouched and predictions are bit-identical with bucketing on and
 // off (pinned by TestBucketedPredictBitIdentical).
 func (m *Model) schedule(samples []*encode.Sample, chunk int, noBucket bool) ([]*encode.Sample, []int, []chunkRange) {
+	return scheduleSamples(samples, chunk, noBucket, m.instr)
+}
+
+// scheduleSamples is the scheduler shared by the float64 Model and the
+// reduced-precision QModel (which has its own instrumentation handle).
+func scheduleSamples(samples []*encode.Sample, chunk int, noBucket bool, instr *Instrumentation) ([]*encode.Sample, []int, []chunkRange) {
 	n := len(samples)
 	if noBucket || n <= 1 {
 		chunks := make([]chunkRange, 0, (n+chunk-1)/chunk)
@@ -429,7 +435,7 @@ func (m *Model) schedule(samples []*encode.Sample, chunk int, noBucket bool) ([]
 		order[p] = i
 		scored[p] = s
 	}
-	m.instr.observeBuckets(lens)
+	instr.observeBuckets(lens)
 	var chunks []chunkRange
 	for l := 1; l <= maxLen; l++ {
 		for lo := starts[l]; lo < starts[l+1]; lo += chunk {

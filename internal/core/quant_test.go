@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"raal/internal/metrics"
+	"raal/internal/tensor"
+)
+
+// trainSmall trains one small model for the quantization tests.
+func trainSmall(t *testing.T, v Variant, seed int64) *Model {
+	t.Helper()
+	m, _, err := Train(synthDataset(160, seed), v, testConfig(), quickTrain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestQuantizedCloseToFloat64 pins the headline accuracy property: for
+// every variant and both reduced precisions, the 0.9-quantile q-error
+// delta against the float64 predictions stays within the serving bound,
+// and VerifyQuantized admits the snapshot.
+func TestQuantizedCloseToFloat64(t *testing.T) {
+	eval := synthDataset(64, 99)
+	variants := map[string]Variant{"raal": RAAL(), "nelstm": NELSTM(), "nalstm": NALSTM(), "raac": RAAC()}
+	for name, v := range variants {
+		m := trainSmall(t, v, 7)
+		ref := m.Predict(eval)
+		for _, p := range []Precision{PrecisionF32, PrecisionInt8} {
+			qm, err := m.Quantize(QuantConfig{Precision: p})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, p, err)
+			}
+			got := qm.Predict(eval)
+			delta := metrics.Quantile(metrics.QErrorDeltas(ref, got), GateQuantile)
+			if delta > 0.05 {
+				t.Fatalf("%s/%s: p90 q-error delta %.4f > 0.05", name, p, delta)
+			}
+			if err := VerifyQuantized(m, qm, eval, 0.05); err != nil {
+				t.Fatalf("%s/%s: gate refused a good snapshot: %v", name, p, err)
+			}
+		}
+	}
+}
+
+// TestQuantizedPredictDeterministic pins the f32 determinism contract:
+// predictions are bit-identical across worker counts, chunk sizes, and
+// bucketing settings.
+func TestQuantizedPredictDeterministic(t *testing.T) {
+	m := trainSmall(t, RAAL(), 11)
+	qm, err := m.Quantize(QuantConfig{Precision: PrecisionInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := synthDataset(80, 101)
+	want := qm.PredictWith(eval, PredictOpts{Workers: 1, ChunkSize: 7, NoBucket: true})
+	opts := []PredictOpts{
+		{Workers: 1, ChunkSize: 80},
+		{Workers: 2, ChunkSize: 16},
+		{Workers: 4, ChunkSize: 5},
+		{Workers: 3, ChunkSize: 11, NoBucket: true},
+	}
+	for _, opt := range opts {
+		got := qm.PredictWith(eval, opt)
+		for i, v := range got {
+			if v != want[i] {
+				t.Fatalf("opts %+v: sample %d = %v, want %v (bit-identical)", opt, i, v, want[i])
+			}
+		}
+	}
+}
+
+// TestQuantizedWarmPredictZeroAllocs pins the pooled-tape arena contract
+// on the reduced-precision path: after warmup, repeated serial predicts
+// allocate no f32 matrices.
+func TestQuantizedWarmPredictZeroAllocs(t *testing.T) {
+	m := trainSmall(t, RAAL(), 13)
+	qm, err := m.Quantize(QuantConfig{Precision: PrecisionF32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := synthDataset(32, 103)
+	opt := PredictOpts{Workers: 1}
+	qm.PredictWith(eval, opt) // warm the tape pool
+	before := tensor.Allocs32()
+	for i := 0; i < 3; i++ {
+		qm.PredictWith(eval, opt)
+	}
+	if got := tensor.Allocs32() - before; got != 0 {
+		t.Fatalf("warm quantized predict allocated %d f32 matrices, want 0", got)
+	}
+}
+
+// TestQuantGateRefusal deliberately violates the bound and requires the
+// typed refusal: a corrupted snapshot must come back as *QuantGateError
+// with the precision and quantile filled in.
+func TestQuantGateRefusal(t *testing.T) {
+	m := trainSmall(t, RAAL(), 17)
+	qm, err := m.Quantize(QuantConfig{Precision: PrecisionInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the output layer bias: every prediction shifts, so the
+	// q-error delta blows through any reasonable bound.
+	out := qm.head.Layers[len(qm.head.Layers)-1]
+	for i := range out.B.Data {
+		out.B.Data[i] += 2
+	}
+	eval := synthDataset(48, 107)
+	err = VerifyQuantized(m, qm, eval, 0.05)
+	var gateErr *QuantGateError
+	if !errors.As(err, &gateErr) {
+		t.Fatalf("gate returned %v, want *QuantGateError", err)
+	}
+	if gateErr.Precision != PrecisionInt8 || gateErr.Quantile != GateQuantile || gateErr.Delta <= gateErr.Bound {
+		t.Fatalf("gate error fields wrong: %+v", gateErr)
+	}
+}
+
+// TestQuantizeRejectsF64 pins the config contract: f64 is the reference
+// path, not a quantization target.
+func TestQuantizeRejectsF64(t *testing.T) {
+	m := NewModel(RAAL(), testConfig())
+	if _, err := m.Quantize(QuantConfig{Precision: PrecisionF64}); err == nil {
+		t.Fatal("Quantize(f64) succeeded, want error")
+	}
+}
+
+// TestParsePrecision round-trips the CLI spellings.
+func TestParsePrecision(t *testing.T) {
+	for _, p := range []Precision{PrecisionF64, PrecisionF32, PrecisionInt8} {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePrecision(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePrecision("f16"); err == nil {
+		t.Fatal("ParsePrecision(f16) succeeded, want error")
+	}
+}
+
+// BenchmarkPredictQuant compares warm batch inference across precisions
+// at the BenchmarkPredict shape (512 samples, chunk 32, serial scorer).
+func BenchmarkPredictQuant(b *testing.B) {
+	samples := benchSamples(512)
+	tc := quickTrain()
+	tc.Epochs = 1
+	m, _, err := Train(samples[:128], RAAL(), testConfig(), tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := PredictOpts{Workers: 1, ChunkSize: 32}
+	b.Run("f64", func(b *testing.B) {
+		m.PredictWith(samples, opt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PredictWith(samples, opt)
+		}
+	})
+	for _, p := range []Precision{PrecisionF32, PrecisionInt8} {
+		qm, err := m.Quantize(QuantConfig{Precision: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(p.String(), func(b *testing.B) {
+			qm.PredictWith(samples, opt)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qm.PredictWith(samples, opt)
+			}
+		})
+	}
+}

@@ -69,6 +69,8 @@ func Registry() []Runner {
 			Run: func(o Options) (Report, error) { return Fleet(o) }},
 		{Name: "online", Description: "extra: seeded drift drill — workload shift, retrain, shadow-score, promote",
 			Run: func(o Options) (Report, error) { return Online(o) }},
+		{Name: "quant", Description: "extra: quantized inference — f64 vs f32 vs int8 latency and q-error delta",
+			Run: func(o Options) (Report, error) { return Quant(o) }},
 	}
 }
 

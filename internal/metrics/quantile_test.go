@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose; must not be mutated
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v, want 4", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v, want 2.5", got)
+	}
+	if got := Quantile(xs, 0.9); math.Abs(got-3.7) > 1e-12 {
+		t.Fatalf("p90 = %v, want 3.7", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQErrorDeltas(t *testing.T) {
+	ref := []float64{2, 1, 0}
+	got := []float64{2, 2, 0}
+	d := QErrorDeltas(ref, got)
+	if d[0] != 0 {
+		t.Fatalf("identical pair delta = %v, want 0", d[0])
+	}
+	if math.Abs(d[1]-1) > 1e-6 {
+		t.Fatalf("2x pair delta = %v, want ~1", d[1])
+	}
+	if d[2] != 0 {
+		t.Fatalf("both-zero pair delta = %v, want 0 (epsilon guard)", d[2])
+	}
+}

@@ -1,0 +1,184 @@
+package nn
+
+import (
+	"raal/internal/autodiff"
+	"raal/internal/tensor"
+)
+
+// This file holds the inference-only reduced-precision snapshots of the
+// trainable layers. Each is built post-training from its float64
+// counterpart: weights narrow to float32, and — when int8 is requested —
+// the large input-projection/dense matrices (the LSTM's Wx "embedding"
+// of plan rows, the conv lowering matrix, every Dense W) drop to
+// symmetric per-row int8 with the dequantization fused into the matmul.
+// Biases and recurrent weights always stay f32: they are small, and the
+// recurrence amplifies their error across timesteps.
+//
+// The snapshots run on autodiff.Tape32 and have no parameters, no
+// gradients, and no serialization — quantization is re-derived from the
+// float64 model whenever one is loaded or promoted.
+
+// qweight is one weight matrix in either reduced precision: exactly one
+// of W (f32) or Q (int8) is set.
+type qweight struct {
+	W *tensor.Matrix32
+	Q *tensor.QMatrix8
+}
+
+// newQWeight converts a float64 weight matrix, to int8 when asked.
+func newQWeight(m *tensor.Matrix, int8W bool) qweight {
+	if int8W {
+		return qweight{Q: tensor.Quantize8(m)}
+	}
+	return qweight{W: tensor.ToMatrix32(m)}
+}
+
+// matmul multiplies x by the weight through whichever kernel the
+// precision selected.
+func (w qweight) matmul(tp *autodiff.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	if w.Q != nil {
+		return tp.MatMulQ(x, w.Q)
+	}
+	return tp.MatMul(x, w.W)
+}
+
+// actToTensor maps the layer Activation enum onto the tensor fused-kernel
+// enum. LeakyReLU has no fused form (it carries a slope) and is handled
+// out of line by biasAct32.
+func actToTensor(a Activation) (tensor.Act, bool) {
+	switch a {
+	case Linear:
+		return tensor.ActNone, true
+	case ReLU:
+		return tensor.ActReLU, true
+	case Tanh:
+		return tensor.ActTanh, true
+	case Sigmoid:
+		return tensor.ActSigmoid, true
+	}
+	return tensor.ActNone, false
+}
+
+// biasAct32 computes act(z + b) through the fused kernel when possible.
+func biasAct32(tp *autodiff.Tape32, z, b *tensor.Matrix32, act Activation) *tensor.Matrix32 {
+	if ta, ok := actToTensor(act); ok {
+		return tp.AddRowAct(z, b, ta)
+	}
+	// LeakyReLU: fused bias add, then the leak applied in place on the
+	// arena matrix (safe: AddRowAct returned a matrix only we hold).
+	out := tp.AddRowAct(z, b, tensor.ActNone)
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0.01 * v
+		}
+	}
+	return out
+}
+
+// LSTM32 is an inference-only reduced-precision LSTM snapshot.
+type LSTM32 struct {
+	In, Hidden int
+	Wx         qweight          // in×4h input projection (int8-eligible)
+	Wh         *tensor.Matrix32 // h×4h recurrent weights (always f32)
+	B          *tensor.Matrix32 // 1×4h packed gate bias (always f32)
+}
+
+// NewLSTM32 snapshots a trained LSTM. int8Wx selects the int8 path for
+// the input projection.
+func NewLSTM32(l *LSTM, int8Wx bool) *LSTM32 {
+	return &LSTM32{
+		In:     l.In,
+		Hidden: l.Hidden,
+		Wx:     newQWeight(l.Wx.Value(), int8Wx),
+		Wh:     tensor.ToMatrix32(l.Wh.Value()),
+		B:      tensor.ToMatrix32(l.B.Value()),
+	}
+}
+
+// ForwardStacked mirrors LSTM.ForwardStacked on the f32 tape: one stacked
+// input projection up front, then per step one recurrent matmul and one
+// fused cell kernel (Tape32.LSTMCell) in place of the float64 path's
+// slice/activation/elementwise chain.
+func (l *LSTM32) ForwardStacked(tp *autodiff.Tape32, x *tensor.Matrix32, steps int) []*tensor.Matrix32 {
+	if steps == 0 {
+		return nil
+	}
+	h := l.Hidden
+	batch := x.Rows / steps
+	zx := l.Wx.matmul(tp, x)
+	sh := tp.NewMatrix(batch, h)
+	sc := tp.NewMatrix(batch, h)
+	hs := make([]*tensor.Matrix32, steps)
+	for t := 0; t < steps; t++ {
+		z := tp.MatMulAddRows(zx, t*batch, sh, l.Wh)
+		sh = tp.LSTMCell(z, l.B, sc)
+		hs[t] = sh
+	}
+	return hs
+}
+
+// Dense32 is an inference-only reduced-precision Dense snapshot.
+type Dense32 struct {
+	W   qweight
+	B   *tensor.Matrix32
+	Act Activation
+}
+
+// NewDense32 snapshots a trained Dense layer.
+func NewDense32(d *Dense, int8W bool) *Dense32 {
+	return &Dense32{W: newQWeight(d.W.Value(), int8W), B: tensor.ToMatrix32(d.B.Value()), Act: d.Act}
+}
+
+// Forward applies the layer to a batch×in input.
+func (d *Dense32) Forward(tp *autodiff.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	return biasAct32(tp, d.W.matmul(tp, x), d.B, d.Act)
+}
+
+// MLP32 is an inference-only reduced-precision MLP snapshot.
+type MLP32 struct {
+	Layers []*Dense32
+}
+
+// NewMLP32 snapshots a trained MLP; int8W applies to every layer.
+func NewMLP32(m *MLP, int8W bool) *MLP32 {
+	r := &MLP32{Layers: make([]*Dense32, len(m.Layers))}
+	for i, l := range m.Layers {
+		r.Layers[i] = NewDense32(l, int8W)
+	}
+	return r
+}
+
+// Forward applies every layer in order.
+func (m *MLP32) Forward(tp *autodiff.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	for _, l := range m.Layers {
+		x = l.Forward(tp, x)
+	}
+	return x
+}
+
+// Conv32 is an inference-only reduced-precision Conv1D snapshot.
+type Conv32 struct {
+	In, Filters, Width int
+	W                  qweight
+	B                  *tensor.Matrix32
+	Act                Activation
+}
+
+// NewConv32 snapshots a trained Conv1D.
+func NewConv32(c *Conv1D, int8W bool) *Conv32 {
+	return &Conv32{
+		In:      c.In,
+		Filters: c.Filters,
+		Width:   c.Width,
+		W:       newQWeight(c.W.Value(), int8W),
+		B:       tensor.ToMatrix32(c.B.Value()),
+		Act:     c.Act,
+	}
+}
+
+// Forward mirrors Conv1D.Forward: Im2ColRows lowering, one matmul, fused
+// bias+activation.
+func (c *Conv32) Forward(tp *autodiff.Tape32, x *tensor.Matrix32) *tensor.Matrix32 {
+	cols := tp.Im2ColRows(x, c.Width)
+	return biasAct32(tp, c.W.matmul(tp, cols), c.B, c.Act)
+}

@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastMath32Accuracy sweeps the fast f32 transcendentals against the
+// float64 math library over the range inference actually exercises and
+// pins the documented error budgets: ~3e-7 relative for Exp32, ≲1e-5
+// absolute for the table-interpolated sigmoid/tanh.
+func TestFastMath32Accuracy(t *testing.T) {
+	for x := -30.0; x <= 30.0; x += 0.0037 {
+		xf := float32(x)
+
+		if got, want := float64(Exp32(xf)), math.Exp(float64(xf)); x >= -87 && x <= 88 {
+			if rel := math.Abs(got-want) / want; rel > 1e-6 {
+				t.Fatalf("Exp32(%v) = %g, want %g (rel err %g)", xf, got, want, rel)
+			}
+		}
+		if got, want := float64(Sigmoid32(xf)), 1/(1+math.Exp(-float64(xf))); math.Abs(got-want) > 1e-5 {
+			t.Fatalf("Sigmoid32(%v) = %g, want %g", xf, got, want)
+		}
+		if got, want := float64(Tanh32(xf)), math.Tanh(float64(xf)); math.Abs(got-want) > 2e-5 {
+			t.Fatalf("Tanh32(%v) = %g, want %g", xf, got, want)
+		}
+	}
+
+	// Saturation: the tails must land exactly on the asymptotes so gates
+	// can close completely.
+	for _, x := range []float32{-1e4, -100, 100, 1e4} {
+		if s := Sigmoid32(x); s != 0 && s != 1 {
+			if x < 0 && s > 1e-7 || x > 0 && s < 1-1e-6 {
+				t.Fatalf("Sigmoid32(%v) = %v, want saturated", x, s)
+			}
+		}
+		want := float32(1)
+		if x < 0 {
+			want = -1
+		}
+		if g := Tanh32(x); g != want {
+			t.Fatalf("Tanh32(%v) = %v, want %v", x, g, want)
+		}
+	}
+	if Exp32(-1000) != 0 {
+		t.Fatal("Exp32 underflow must return 0")
+	}
+	if e := Exp32(1000); math.IsInf(float64(e), 1) || e < 1e38 {
+		t.Fatalf("Exp32 overflow clamp returned %v", e)
+	}
+}
+
+// TestLSTMCell32MatchesUnfused checks the fused cell kernel against the
+// op-by-op formulation it replaced, built from the same fast scalars.
+func TestLSTMCell32MatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const batch, h = 5, 7
+	z := New32(batch, 4*h)
+	b := New32(1, 4*h)
+	sc := New32(batch, h)
+	for i := range z.Data {
+		z.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range b.Data {
+		b.Data[i] = float32(rng.NormFloat64())
+	}
+	for i := range sc.Data {
+		sc.Data[i] = float32(rng.NormFloat64())
+	}
+
+	wantSC := sc.Clone()
+	wantSH := New32(batch, h)
+	for r := 0; r < batch; r++ {
+		for j := 0; j < h; j++ {
+			i := Sigmoid32(z.At(r, j) + b.Data[j])
+			f := Sigmoid32(z.At(r, h+j) + b.Data[h+j])
+			g := Tanh32(z.At(r, 2*h+j) + b.Data[2*h+j])
+			o := Sigmoid32(z.At(r, 3*h+j) + b.Data[3*h+j])
+			c := f*wantSC.At(r, j) + i*g
+			wantSC.Set(r, j, c)
+			wantSH.Set(r, j, o*Tanh32(c))
+		}
+	}
+
+	sh := New32(batch, h)
+	LSTMCell32Into(sh, sc, z, b)
+	for i := range sh.Data {
+		if sh.Data[i] != wantSH.Data[i] {
+			t.Fatalf("sh[%d] = %v, want %v", i, sh.Data[i], wantSH.Data[i])
+		}
+		if sc.Data[i] != wantSC.Data[i] {
+			t.Fatalf("sc[%d] = %v, want %v", i, sc.Data[i], wantSC.Data[i])
+		}
+	}
+}
+
+// TestMatMulAdd32MatchesSeparate checks the fused base+a×b kernel against
+// MatMul32Into followed by Add32Into, bit for bit — the fusion saves
+// passes, not precision, because both initialize the accumulator with the
+// base value before the ascending-k accumulation.
+func TestMatMulAdd32MatchesSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 3, 8, 11, 19} { // spans the 8-wide and tail paths
+		a := New32(6, 13)
+		b := New32(13, n)
+		base := New32(6, n)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.NormFloat64())
+		}
+		a.Data[7] = 0 // exercise the zero-skip
+		for i := range b.Data {
+			b.Data[i] = float32(rng.NormFloat64())
+		}
+		for i := range base.Data {
+			base.Data[i] = float32(rng.NormFloat64())
+		}
+
+		want := New32(6, n)
+		MatMul32Into(want, a, b)
+		Add32Into(want, want, base)
+
+		got := New32(6, n)
+		MatMulAdd32Into(got, base, a, b)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d: element %d = %v, want %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat32(rng *rand.Rand, rows, cols int) *Matrix32 {
+	m := New32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func mustEqual32(t *testing.T, got, want *Matrix32, label string) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("%s: element %d = %g, want %g (bit-identical)", label, i, v, want.Data[i])
+		}
+	}
+}
+
+// TestMatMul32MatchesFloat64 pins the f32 kernels to the f64 reference
+// within accumulation tolerance: same inputs narrowed to f32 must produce
+// the same products up to rounding.
+func TestMatMul32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 9, 17)
+	b := randMat(rng, 17, 13)
+	want := MatMul(a, b)
+
+	a32, b32 := ToMatrix32(a), ToMatrix32(b)
+	got := New32(9, 13)
+	MatMul32Into(got, a32, b32)
+	for i, v := range got.Data {
+		if math.Abs(float64(v)-want.Data[i]) > 1e-4 {
+			t.Fatalf("element %d: f32 %g vs f64 %g", i, v, want.Data[i])
+		}
+	}
+
+	// a×bᵀ through the dedicated kernel.
+	bt32 := ToMatrix32(b.Transpose())
+	gotTB := New32(9, 13)
+	MatMulTransB32Into(gotTB, a32, bt32)
+	for i, v := range gotTB.Data {
+		if math.Abs(float64(v)-want.Data[i]) > 1e-4 {
+			t.Fatalf("transB element %d: f32 %g vs f64 %g", i, v, want.Data[i])
+		}
+	}
+}
+
+// TestParallelMatMul32BitIdenticalAcrossWorkers is the f32 version of the
+// deterministic-split property test: every worker count must reproduce the
+// serial result bit for bit, across both kernel paths and ragged splits.
+func TestParallelMatMul32BitIdenticalAcrossWorkers(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(31))
+	shapes := [][3]int{
+		{1, 1, 1},
+		{2, 3, 5},
+		{7, 9, 13},
+		{33, 17, 41},
+		{12, 64, 1280}, // len(b.Data) = 81920 > regPathMaxBFloats32: streaming path
+	}
+	workers := []int{2, 3, 4, 7}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randMat32(rng, m, k)
+		b := randMat32(rng, k, n)
+		bt := New32(n, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < n; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		q := Quantize8(b.ToMatrix())
+
+		SetMatMulWorkers(1)
+		want := New32(m, n)
+		MatMul32Into(want, a, b)
+		wantTB := New32(m, n)
+		MatMulTransB32Into(wantTB, a, bt)
+		wantQ := New32(m, n)
+		MatMulQ32Into(wantQ, a, q)
+
+		for _, w := range workers {
+			SetMatMulWorkers(w)
+			got := randMat32(rng, m, n) // dirty output: kernels must overwrite fully
+			MatMul32Into(got, a, b)
+			mustEqual32(t, got, want, "MatMul32Into parallel")
+
+			gotTB := randMat32(rng, m, n)
+			MatMulTransB32Into(gotTB, a, bt)
+			mustEqual32(t, gotTB, wantTB, "MatMulTransB32Into parallel")
+
+			gotQ := randMat32(rng, m, n)
+			MatMulQ32Into(gotQ, a, q)
+			mustEqual32(t, gotQ, wantQ, "MatMulQ32Into parallel")
+		}
+	}
+}
+
+// TestQuantize8RoundTrip bounds the dequantization error at half a step
+// per element and checks the all-zero-row edge case.
+func TestQuantize8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := randMat(rng, 12, 30)
+	for j := 0; j < m.Cols; j++ {
+		m.Set(5, j, 0) // all-zero row: scale must be 0, dequant exactly 0
+	}
+	q := Quantize8(m)
+	dq := q.Dequantize()
+	for i := 0; i < m.Rows; i++ {
+		var maxAbs float64
+		for _, v := range m.Row(i) {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		step := maxAbs / 127
+		for j := 0; j < m.Cols; j++ {
+			err := math.Abs(float64(dq.At(i, j)) - m.At(i, j))
+			if err > step/2+1e-7 {
+				t.Fatalf("(%d,%d): dequant err %g > half step %g", i, j, err, step/2)
+			}
+		}
+	}
+	if q.Scale[5] != 0 {
+		t.Fatalf("all-zero row scale = %g, want 0", q.Scale[5])
+	}
+}
+
+// TestMatMulQ32MatchesDequantized checks the fused dequant-accumulate
+// kernel against multiplying by the materialized dequantized matrix. The
+// two differ only in where the scale multiplies, so they agree within
+// f32 rounding.
+func TestMatMulQ32MatchesDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a32 := randMat32(rng, 8, 24)
+	w := randMat(rng, 24, 16)
+	q := Quantize8(w)
+
+	got := New32(8, 16)
+	MatMulQ32Into(got, a32, q)
+	ref := New32(8, 16)
+	MatMul32Into(ref, a32, q.Dequantize())
+	for i, v := range got.Data {
+		if math.Abs(float64(v-ref.Data[i])) > 1e-3 {
+			t.Fatalf("element %d: fused %g vs dequant-then-matmul %g", i, v, ref.Data[i])
+		}
+	}
+}
+
+// TestMatrix32Conversions pins narrowing/widening and the alias guards.
+func TestMatrix32Conversions(t *testing.T) {
+	m := FromRows([][]float64{{1.5, -2.25}, {0, 3}})
+	m32 := ToMatrix32(m)
+	back := m32.ToMatrix()
+	for i, v := range m.Data {
+		if back.Data[i] != v { // all values exactly representable in f32
+			t.Fatalf("round trip element %d: %g != %g", i, back.Data[i], v)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased matmul32 output did not panic")
+		}
+	}()
+	MatMul32Into(m32, m32, m32)
+}

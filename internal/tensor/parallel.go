@@ -65,10 +65,28 @@ func SetMatMulMinFlops(n int64) int64 {
 
 // spanWorkers decides how many goroutines to use for a kernel whose
 // output splits into units independent slices of flops total work.
+//
+// Beyond the all-or-nothing serial gate, fan-out is scaled so every
+// worker carries at least the configured flop floor: a multiplication
+// barely past the threshold runs on 2 goroutines, not GOMAXPROCS. This
+// matters when the caller is itself a worker pool (data-parallel
+// Predict): letting borderline inner matmuls grab every core
+// oversubscribes the machine and makes the outer parallelism a net
+// loss. The floor only shapes *how many* ranges the output splits into,
+// never how an element is accumulated, so the bit-identical contract is
+// unaffected.
 func spanWorkers(units int, flops int64) int {
 	w := int(matmulWorkers.Load())
-	if w <= 1 || units < 2 || flops < matmulMinFlops.Load() {
+	if w <= 1 || units < 2 {
 		return 1
+	}
+	if mf := matmulMinFlops.Load(); mf > 0 {
+		if flops < 2*mf {
+			return 1 // splitting would leave some worker under the floor
+		}
+		if maxW := int(flops / mf); maxW < w {
+			w = maxW
+		}
 	}
 	if w > units {
 		w = units

@@ -155,6 +155,18 @@ type OnlineOptions struct {
 	RetrainEpochs  int
 	RetrainWorkers int
 	Seed           int64
+	// Precision selects the serving numeric format (default f64). With a
+	// reduced precision every champion generation still trains and
+	// persists in float64 and is re-quantized at promotion time behind
+	// the accuracy gate; a refused gate serves float64 and increments
+	// raal_quant_gate_failures_total. See CostModel.EnablePrecision for
+	// the single-model equivalent.
+	Precision Precision
+	// GateSamples seeds the quantization accuracy gate until the replay
+	// buffer has content; MaxQDelta is the gate's q-error delta bound
+	// (default 0.05).
+	GateSamples []*Sample
+	MaxQDelta   float64
 	// Metrics, if non-nil, receives the raal_online_* metric set.
 	Metrics *telemetry.Registry
 	// Logger, if non-nil, narrates drift triggers and promotions.
@@ -186,6 +198,9 @@ func NewOnlineServing(cm *CostModel, st *TrainState, opt OnlineOptions) (*Online
 		MinRetrain:     opt.MinRetrain,
 		ShadowMin:      opt.ShadowMin,
 		Cooldown:       opt.Cooldown,
+		Precision:      opt.Precision,
+		GateSamples:    opt.GateSamples,
+		MaxQDelta:      opt.MaxQDelta,
 		Logger:         opt.Logger,
 	}
 	cfg.Train.Epochs = opt.RetrainEpochs
@@ -207,14 +222,33 @@ func NewOnlineServing(cm *CostModel, st *TrainState, opt OnlineOptions) (*Online
 	return &OnlineServing{cm: cm, mgr: mgr}, nil
 }
 
+// versionPrecision is the precision one loaded generation serves at.
+func versionPrecision(v *online.Version) Precision {
+	if v.Q != nil {
+		return v.Q.Precision
+	}
+	return PrecisionF64
+}
+
+// championPredictCtx scores samples with one loaded generation, at its
+// quantized precision when the gate admitted a snapshot for it and on
+// its float64 weights otherwise.
+func championPredictCtx(ctx context.Context, v *online.Version, samples []*Sample, opt core.PredictOpts) ([]float64, error) {
+	if v.Q != nil {
+		return v.Q.PredictCtx(ctx, samples, opt)
+	}
+	return v.Model.PredictCtx(ctx, samples, opt)
+}
+
 // EstimateCtx prices p under res with the current champion. The champion
 // pointer is loaded once per call, so a concurrent promotion is invisible
-// mid-request — the prediction comes entirely from one generation.
+// mid-request — the prediction comes entirely from one generation (and
+// one precision).
 func (o *OnlineServing) EstimateCtx(ctx context.Context, p *Plan, res Resources) (float64, error) {
 	o.cm.api.estimates.Inc()
-	s := o.cm.encodePlan(p, res)
 	v := o.mgr.Champion()
-	preds, err := v.Model.PredictCtx(ctx, []*Sample{s}, core.PredictOpts{})
+	s := o.cm.encodePlanAt(versionPrecision(v).String(), p, res)
+	preds, err := championPredictCtx(ctx, v, []*Sample{s}, core.PredictOpts{})
 	if err != nil {
 		return 0, err
 	}
@@ -225,11 +259,12 @@ func (o *OnlineServing) EstimateCtx(ctx context.Context, p *Plan, res Resources)
 // current champion (one champion load for the whole batch).
 func (o *OnlineServing) EstimateBatchCtx(ctx context.Context, plans []*Plan, res Resources, opt PredictOpts) ([]float64, error) {
 	o.cm.api.estimates.Inc()
+	v := o.mgr.Champion()
 	samples := make([]*Sample, len(plans))
 	for i, p := range plans {
-		samples[i] = o.cm.encodePlan(p, res)
+		samples[i] = o.cm.encodePlanAt(versionPrecision(v).String(), p, res)
 	}
-	return o.mgr.Champion().Model.PredictCtx(ctx, samples, opt)
+	return championPredictCtx(ctx, v, samples, opt)
 }
 
 // EstimateEachCtx prices many independent (plan, resources) pairs in one
@@ -239,11 +274,12 @@ func (o *OnlineServing) EstimateEachCtx(ctx context.Context, plans []*Plan, res 
 		return nil, fmt.Errorf("raal: EstimateEachCtx got %d plan(s) but %d resource allocation(s)", len(plans), len(res))
 	}
 	o.cm.api.estimates.Inc()
+	v := o.mgr.Champion()
 	samples := make([]*Sample, len(plans))
 	for i, p := range plans {
-		samples[i] = o.cm.encodePlan(p, res[i])
+		samples[i] = o.cm.encodePlanAt(versionPrecision(v).String(), p, res[i])
 	}
-	return o.mgr.Champion().Model.PredictCtx(ctx, samples, opt)
+	return championPredictCtx(ctx, v, samples, opt)
 }
 
 // Feedback ingests one observed outcome: the plan and allocation that
@@ -262,6 +298,11 @@ func (o *OnlineServing) AdminHandler() http.Handler { return o.mgr.AdminHandler(
 
 // ChampionVersion returns the generation number currently serving.
 func (o *OnlineServing) ChampionVersion() int { return o.mgr.Champion().Num }
+
+// Precision returns the serving precision of the current champion: the
+// configured reduced precision when its quantized snapshot passed the
+// accuracy gate, PrecisionF64 otherwise.
+func (o *OnlineServing) Precision() Precision { return versionPrecision(o.mgr.Champion()) }
 
 // Status returns the loop's current state (what GET /models serves).
 func (o *OnlineServing) Status() online.Status { return o.mgr.Status() }

@@ -1,0 +1,126 @@
+package raal
+
+import (
+	"errors"
+	"testing"
+)
+
+// gateSet returns a small encoded reference workload for the accuracy
+// gate from the shared dataset.
+func gateSet(t *testing.T) []*Sample {
+	t.Helper()
+	_, ds, cm := sharedSystem(t)
+	gate := cm.EncodeDataset(ds)
+	if len(gate) > 64 {
+		gate = gate[:64]
+	}
+	return gate
+}
+
+// TestPrecisionCacheIsolation pins the serving-precision cache contract
+// over a grid of (plan, resources) pairs: estimates made under f64 and
+// under a reduced precision never share a cache entry, the fingerprint
+// ID stays precision-agnostic (fleet-router affinity is unaffected by a
+// replica's precision), and EncodeCacheKeyStats attributes hits to the
+// precision whose traffic produced them.
+func TestPrecisionCacheIsolation(t *testing.T) {
+	sys, _, cm := sharedSystem(t)
+	gate := gateSet(t)
+	defer func() {
+		cm.EnableEncodeCache(0)
+		if err := cm.EnablePrecision(PrecisionF64, nil, 0); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	type combo struct {
+		p   *Plan
+		res Resources
+	}
+	var combos []combo
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM title t, movie_companies mc WHERE t.id = mc.movie_id`,
+		`SELECT COUNT(*) FROM movie_keyword mk WHERE mk.keyword_id < 500`,
+	} {
+		plans, err := sys.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := DefaultResources()
+		res2 := res
+		res2.ExecMemMB *= 2
+		combos = append(combos, combo{plans[0], res}, combo{plans[0], res2})
+	}
+
+	cm.EnableEncodeCache(64)
+	estimateAll := func() {
+		for _, c := range combos {
+			cm.Estimate(c.p, c.res)
+		}
+	}
+	estimateAll() // f64: one miss per combo
+	estimateAll() // f64: one hit per combo
+
+	if err := cm.EnablePrecision(PrecisionF32, gate, 0.05); err != nil {
+		t.Fatalf("gate refused the f32 install: %v", err)
+	}
+	if cm.Precision() != PrecisionF32 {
+		t.Fatalf("active precision = %v, want f32", cm.Precision())
+	}
+	estimateAll() // f32: must miss — f64 entries are not shared
+	estimateAll() // f32: one hit per combo
+
+	stats := cm.EncodeCacheKeyStats()
+	if want := 2 * len(combos); len(stats) != want {
+		t.Fatalf("cache holds %d entries, want %d (one per precision per combo)", len(stats), want)
+	}
+	perKey := map[string]map[string]uint64{} // fingerprint ID → precision → hits
+	for _, s := range stats {
+		if perKey[s.Key] == nil {
+			perKey[s.Key] = map[string]uint64{}
+		}
+		if _, dup := perKey[s.Key][s.Precision]; dup {
+			t.Fatalf("fingerprint %s has duplicate %s entries", s.Key, s.Precision)
+		}
+		perKey[s.Key][s.Precision] = s.Hits
+	}
+	if len(perKey) != len(combos) {
+		t.Fatalf("%d distinct fingerprints, want %d (IDs must be precision-agnostic)", len(perKey), len(combos))
+	}
+	for key, byPrec := range perKey {
+		for _, prec := range []string{"f64", "f32"} {
+			hits, ok := byPrec[prec]
+			if !ok {
+				t.Fatalf("fingerprint %s has no %s entry", key, prec)
+			}
+			if hits != 1 {
+				t.Fatalf("fingerprint %s precision %s served %d hits, want 1", key, prec, hits)
+			}
+		}
+	}
+
+	// The fingerprint the router hashes must match what the cache
+	// reports, regardless of precision.
+	if id := FingerprintID(PlanFingerprint(combos[0].p, combos[0].res)); perKey[id] == nil {
+		t.Fatalf("router-side fingerprint %s not found in cache stats", id)
+	}
+}
+
+// TestEnablePrecisionGateFallback pins the serving-layer gate contract:
+// a deliberately impossible bound yields the typed refusal and leaves
+// the previously active precision serving.
+func TestEnablePrecisionGateFallback(t *testing.T) {
+	_, _, cm := sharedSystem(t)
+	gate := gateSet(t)
+	if err := cm.EnablePrecision(PrecisionF64, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := cm.EnablePrecision(PrecisionInt8, gate, 0) // bound 0: int8 can never match f64 exactly
+	var gateErr *QuantGateError
+	if !errors.As(err, &gateErr) {
+		t.Fatalf("EnablePrecision returned %v, want *QuantGateError", err)
+	}
+	if cm.Precision() != PrecisionF64 {
+		t.Fatalf("after refusal the active precision is %v, want the f64 fallback", cm.Precision())
+	}
+}

@@ -75,7 +75,25 @@ type (
 	// Span is a per-stage wall-time breakdown of one inference call (see
 	// CostModel.EstimateTraced).
 	Span = telemetry.Span
+	// Precision selects the numeric format inference runs in (see
+	// CostModel.EnablePrecision).
+	Precision = core.Precision
+	// QuantGateError is the typed refusal returned when a quantized model
+	// fails the accuracy gate; match with errors.As and serve f64.
+	QuantGateError = core.QuantGateError
 )
+
+// Serving precisions: the float64 reference path and the two reduced
+// inference-only formats (see CostModel.EnablePrecision).
+const (
+	PrecisionF64  = core.PrecisionF64
+	PrecisionF32  = core.PrecisionF32
+	PrecisionInt8 = core.PrecisionInt8
+)
+
+// ParsePrecision maps the CLI spelling ("f64", "f32", "int8") to a
+// Precision.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
 
 // NewMetricsRegistry returns an empty metrics registry. Wire it into
 // TrainOptions.Metrics or CostModel.Instrument, then expose it over HTTP
