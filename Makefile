@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet bench-online chaos online quant bench-quant vet fuzz cover check
+.PHONY: build test race bench bench-parallel benchjson bench-serve bench-fleet bench-online chaos online quant bench-quant engine bench-engine vet fuzz cover check
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,12 @@ test: build
 # internal/telemetry includes concurrent writer/scraper tests;
 # internal/fleet includes the chaos suite (hedged requests racing
 # drains and kills) and internal/backoff the context-cancellation
-# property tests. Use `make race-all` for the (slow) full sweep.
+# property tests; internal/engine includes TestConcurrentStreamingRuns
+# (one Engine, shared slab pools and counters, hammered from 8
+# goroutines) and internal/workload the worker-count-invariant parallel
+# collection tests. Use `make race-all` for the (slow) full sweep.
 race:
-	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry ./internal/fleet ./internal/backoff ./internal/online .
+	$(GO) test -race ./internal/core ./internal/nn ./internal/autodiff ./internal/tensor ./internal/serve ./internal/telemetry ./internal/fleet ./internal/backoff ./internal/online ./internal/engine ./internal/workload .
 
 # The experiments package replays full training runs; under the race
 # detector that exceeds go test's default 10m per-package timeout on
@@ -98,6 +101,25 @@ quant:
 # (results/BENCH_quant.json); compare runs with cmd/benchdiff.
 bench-quant:
 	$(GO) run ./cmd/raalbench -exp quant -json -outdir results
+
+# Streaming-engine gate: the bit-identity proofs (in-package edge cases
+# plus the cross-corpus IMDB/TPC-H property test) and the parallel
+# collection invariant, then the committed engine report checked against
+# the acceptance bounds — streaming must hold ≥2x the materialized
+# throughput and shed ≥50% of its peak heap on the million-row join, at
+# well under one allocation per input row. Self-diffing the report makes
+# the delta columns no-ops; the absolute -metric bounds are the point.
+engine:
+	$(GO) test -run 'Streaming|TestCollectWorker|TestPrefix' -count=1 ./internal/engine ./internal/workload
+	$(GO) run ./cmd/benchdiff \
+	    -metric 'throughput_ratio>=2.0' -metric 'peak_heap_reduction>=0.5' \
+	    -metric 'allocs_per_row<=1.0' \
+	    results/BENCH_engine.json results/BENCH_engine.json
+
+# Re-measure streaming vs materialized execution on the million-row
+# 3-way join (results/BENCH_engine.json); compare runs with benchdiff.
+bench-engine:
+	$(GO) run ./cmd/raalbench -exp engine -json -outdir results
 
 vet:
 	$(GO) vet ./...

@@ -10,7 +10,11 @@ import (
 // Join Order Benchmark subset referenced by the paper's Sec. III queries:
 // title, movie_companies, movie_keyword, movie_info, movie_info_idx,
 // cast_info, company_name, and keyword. At scale 1.0 it holds roughly 650K
-// rows across 8 tables.
+// rows across 8 tables; the multiplier is unbounded, and the streaming
+// execution engine keeps corpus collection practical well past scale 16
+// (~10^6-row fact tables) into the 10^7-row range (scale ~150+, memory
+// permitting — generation allocates every column eagerly at ~8B per int
+// value).
 //
 // Foreign keys are zipf-distributed (popular movies accumulate many
 // companies/keywords/cast entries) and production_year correlates with

@@ -9,7 +9,9 @@ import (
 // TPCH generates a synthetic TPC-H database with the columns the paper's
 // template-generated workload touches. At scale 1.0 it holds roughly 85K
 // rows across 8 tables (our unit scale; the paper used SF100 on a real
-// cluster). Value distributions follow the TPC-H spec's shapes: uniform
+// cluster). The multiplier is unbounded — scale ~120 puts lineitem at
+// 10^7 rows, which the streaming engine executes without materializing
+// intermediates. Value distributions follow the TPC-H spec's shapes: uniform
 // keys, date ranges over 1992–1998 (encoded as days since 1992-01-01), and
 // categorical string columns drawn from the spec's value lists.
 func TPCH(scale float64, seed int64) *catalog.Database {

@@ -96,7 +96,7 @@ func aggInput(rel *Relation, a logical.BoundAgg) ([]int64, error) {
 	return nil, fmt.Errorf("aggregate column %q missing", name)
 }
 
-func partialAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.BoundAgg) (*Relation, error) {
+func partialAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.BoundAgg, maxRows int) (*Relation, error) {
 	keyOf, emitKey, err := groupKeyFn(rel, groupBy)
 	if err != nil {
 		return nil, err
@@ -121,6 +121,11 @@ func partialAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.
 			states[k] = st
 			rep[k] = i
 			order = append(order, k)
+			// Enforce the cardinality guard while accumulating, the way
+			// the joins do, instead of after materialization in exec.
+			if len(order) > maxRows {
+				return nil, fmt.Errorf("aggregate output exceeds %d groups: %w", maxRows, ErrRowLimit)
+			}
 		}
 		for ai := range aggs {
 			s := &st[ai]
@@ -197,7 +202,7 @@ func appendState(out *Relation, ai int, a logical.BoundAgg, s aggState) {
 	}
 }
 
-func finalAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.BoundAgg) (*Relation, error) {
+func finalAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.BoundAgg, maxRows int) (*Relation, error) {
 	keyOf, emitKey, err := groupKeyFn(rel, groupBy)
 	if err != nil {
 		return nil, err
@@ -222,6 +227,9 @@ func finalAggregate(rel *Relation, groupBy []logical.BoundCol, aggs []logical.Bo
 			states[k] = st
 			rep[k] = i
 			order = append(order, k)
+			if len(order) > maxRows {
+				return nil, fmt.Errorf("aggregate output exceeds %d groups: %w", maxRows, ErrRowLimit)
+			}
 		}
 		for ai, a := range aggs {
 			s := &st[ai]

@@ -286,13 +286,13 @@ func TestLikePatterns(t *testing.T) {
 		pattern string
 		want    int
 	}{
-		{"abc%", 2},   // abcdef, abc
-		{"%abc", 3},   // abc, xxabc, defabc
-		{"%abc%", 4},  // all but zzz
-		{"abc", 1},    // exact
-		{"%", 5},      // everything
-		{"a%f", 1},    // abcdef
-		{"%b%d%", 1},  // abcdef (b then d in order)
+		{"abc%", 2},  // abcdef, abc
+		{"%abc", 3},  // abc, xxabc, defabc
+		{"%abc%", 4}, // all but zzz
+		{"abc", 1},   // exact
+		{"%", 5},     // everything
+		{"a%f", 1},   // abcdef
+		{"%b%d%", 1}, // abcdef (b then d in order)
 		{"nomatch", 0},
 	}
 	for _, tc := range cases {

@@ -8,12 +8,27 @@ import (
 	"raal/internal/logical"
 	"raal/internal/physical"
 	"raal/internal/sql"
+	"raal/internal/telemetry"
 )
 
 // ErrRowLimit is returned (wrapped) when an operator would produce more
 // rows than the engine's limit — the guard against join explosions in
 // generated workloads.
 var ErrRowLimit = fmt.Errorf("engine: row limit exceeded")
+
+// ExecMode selects the execution strategy.
+type ExecMode int
+
+const (
+	// ExecStreaming (the default) runs plans as chunked vectorized
+	// iterators: near-constant memory, incremental row-limit
+	// enforcement, early termination under limits.
+	ExecStreaming ExecMode = iota
+	// ExecMaterialized runs the original operator-at-a-time path where
+	// every operator fully materializes its output. It is kept as the
+	// test oracle the streaming path is verified bit-identical against.
+	ExecMaterialized
+)
 
 // Engine executes physical plans against a database.
 type Engine struct {
@@ -22,6 +37,17 @@ type Engine struct {
 	// MaxRows bounds any single operator's output cardinality; 0 means
 	// the default of 5 million.
 	MaxRows int
+
+	// Mode selects streaming (default) or materialized execution. Both
+	// produce bit-identical relations, ActRows, and Skew.
+	Mode ExecMode
+
+	// BatchSize is the streaming chunk capacity in rows; 0 means
+	// DefaultBatchSize.
+	BatchSize int
+
+	pool  slabPool
+	instr *engineInstr
 }
 
 // New returns an Engine over db.
@@ -34,13 +60,34 @@ func (e *Engine) maxRows() int {
 	return 5_000_000
 }
 
-// Run executes the plan bottom-up, records each node's actual output
-// cardinality in node.ActRows, and returns the final relation.
-func (e *Engine) Run(p *physical.Plan) (*Relation, error) {
-	for _, n := range p.Nodes {
-		n.ActRows = 0
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
 	}
-	return e.exec(p.Root)
+	return DefaultBatchSize
+}
+
+// Run executes the plan, records each node's actual output cardinality
+// in node.ActRows, and returns the final relation. An Engine is safe for
+// concurrent Run calls on distinct plans.
+func (e *Engine) Run(p *physical.Plan) (*Relation, error) {
+	return e.RunTraced(p, nil)
+}
+
+// RunTraced is Run with an optional telemetry span: the streaming path
+// accumulates per-operator stage durations into sp (nil sp means no
+// tracing; the materialized oracle path does not trace stages).
+func (e *Engine) RunTraced(p *physical.Plan, sp *telemetry.Span) (*Relation, error) {
+	if ins := e.instr; ins != nil {
+		ins.runs.Inc()
+	}
+	if e.Mode == ExecMaterialized {
+		for _, n := range p.Nodes {
+			n.ActRows = 0
+		}
+		return e.exec(p.Root)
+	}
+	return e.runStreaming(p, sp)
 }
 
 func (e *Engine) exec(n *physical.Node) (*Relation, error) {
@@ -81,25 +128,23 @@ func (e *Engine) apply(n *physical.Node, kids []*Relation) (*Relation, error) {
 	case physical.ExchangeSinglePartition, physical.BroadcastExchange:
 		return kids[0], nil
 	case physical.Sort:
-		return sortRelation(kids[0], n.SortCol, n.SortDesc)
+		return sortRelation(kids[0], n.SortCol, n.SortDesc, e.maxRows())
 	case physical.SortMergeJoin, physical.BroadcastHashJoin, physical.ShuffledHashJoin:
 		return hashJoin(kids[0], kids[1], n.LeftKey, n.RightKey, e.maxRows())
 	case physical.BroadcastNestedLoopJoin:
 		return nestedLoopJoin(kids[0], kids[1], n.LeftKey, n.RightKey, n.ThetaOp, e.maxRows())
 	case physical.HashAggregate, physical.SortAggregate:
 		if n.Final {
-			return finalAggregate(kids[0], n.GroupBy, n.Aggs)
+			return finalAggregate(kids[0], n.GroupBy, n.Aggs, e.maxRows())
 		}
-		return partialAggregate(kids[0], n.GroupBy, n.Aggs)
+		return partialAggregate(kids[0], n.GroupBy, n.Aggs, e.maxRows())
 	case physical.LocalLimit:
 		if kids[0].N <= n.LimitN {
 			return kids[0], nil
 		}
-		idx := make([]int, n.LimitN)
-		for i := range idx {
-			idx[i] = i
-		}
-		return kids[0].gather(idx), nil
+		// A limit is a prefix: share the column storage instead of
+		// copying every column through gather.
+		return kids[0].prefix(n.LimitN), nil
 	default:
 		return nil, fmt.Errorf("unsupported operator")
 	}
@@ -129,9 +174,13 @@ func (e *Engine) scan(n *physical.Node) (*Relation, error) {
 	return applyPreds(rel, n.Preds)
 }
 
-func sortRelation(rel *Relation, col *logical.BoundCol, desc bool) (*Relation, error) {
+func sortRelation(rel *Relation, col *logical.BoundCol, desc bool, maxRows int) (*Relation, error) {
 	if col == nil {
 		return rel, nil
+	}
+	// Guard before building the permutation, not after exec materializes.
+	if rel.N > maxRows {
+		return nil, fmt.Errorf("sort input exceeds %d rows: %w", maxRows, ErrRowLimit)
 	}
 	name := col.String()
 	idx := make([]int, rel.N)

@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"raal/internal/physical"
+	"raal/internal/telemetry"
+)
+
+// engineInstr holds the per-operator execution counters. All label values
+// are pre-materialized (the operator vocabulary is closed), so the hot
+// path pays one atomic add per batch, not a map lookup.
+type engineInstr struct {
+	rows    *telemetry.CounterVec
+	batches *telemetry.CounterVec
+	ns      *telemetry.CounterVec
+	runs    *telemetry.Counter
+}
+
+// Instrument registers the engine's per-operator telemetry — rows and
+// batches produced and nanoseconds spent (inclusive of children) per
+// physical operator — on reg. Call before the first Run; instrumented
+// engines remain safe for concurrent Run calls.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	ops := make([]string, physical.NumOpTypes)
+	for i := range ops {
+		ops[i] = physical.OpType(i).String()
+	}
+	e.instr = &engineInstr{
+		rows: reg.NewCounterVec("raal_engine_rows_total",
+			"Rows produced per physical operator by the streaming engine.", "op", ops...),
+		batches: reg.NewCounterVec("raal_engine_batches_total",
+			"Batches produced per physical operator by the streaming engine.", "op", ops...),
+		ns: reg.NewCounterVec("raal_engine_op_ns_total",
+			"Nanoseconds spent per physical operator (inclusive of children).", "op", ops...),
+		runs: reg.NewCounter("raal_engine_runs_total",
+			"Plans executed by the engine."),
+	}
+}

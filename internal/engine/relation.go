@@ -72,6 +72,20 @@ func (r *Relation) gather(idx []int) *Relation {
 	return out
 }
 
+// prefix returns a view of the first k rows, sharing column storage with
+// r — the zero-copy form of gather(0..k-1) used by LocalLimit.
+func (r *Relation) prefix(k int) *Relation {
+	out := NewRelation()
+	out.N = k
+	for name, col := range r.Ints {
+		out.Ints[name] = col[:k]
+	}
+	for name, col := range r.Strs {
+		out.Strs[name] = col[:k]
+	}
+	return out
+}
+
 // project keeps only the named columns.
 func (r *Relation) project(cols []string) (*Relation, error) {
 	out := NewRelation()

@@ -39,7 +39,7 @@ func TestSortRelationStable(t *testing.T) {
 	rel.Ints["a.k"] = []int64{2, 1, 2, 1}
 	rel.Ints["a.v"] = []int64{100, 200, 300, 400}
 	bc := logical.BoundCol{Alias: "a", Name: "k"}
-	sorted, err := sortRelation(rel, &bc, false)
+	sorted, err := sortRelation(rel, &bc, false, 5_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestSortRelationStable(t *testing.T) {
 		}
 	}
 	// Descending keeps stability within equal keys too.
-	desc, err := sortRelation(rel, &bc, true)
+	desc, err := sortRelation(rel, &bc, true, 5_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestSortRelationStringKey(t *testing.T) {
 	rel.N = 3
 	rel.Strs["a.s"] = []string{"m", "a", "z"}
 	bc := logical.BoundCol{Alias: "a", Name: "s"}
-	sorted, err := sortRelation(rel, &bc, false)
+	sorted, err := sortRelation(rel, &bc, false, 5_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestSortRelationMissingColumn(t *testing.T) {
 	rel := NewRelation()
 	rel.N = 1
 	bc := logical.BoundCol{Alias: "a", Name: "ghost"}
-	if _, err := sortRelation(rel, &bc, false); err == nil {
+	if _, err := sortRelation(rel, &bc, false, 5_000_000); err == nil {
 		t.Fatal("sorting a missing column should error")
 	}
 }

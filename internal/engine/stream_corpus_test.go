@@ -1,0 +1,135 @@
+// Property test over the full generated workload corpus: every candidate
+// plan of every generated query must produce bit-identical relations,
+// per-node ActRows, and per-node Skew under streaming and materialized
+// execution. It lives in an external test package so it can drive the
+// same generator the training pipeline uses (workload imports engine).
+package engine_test
+
+import (
+	"errors"
+	"testing"
+
+	"raal/internal/cardest"
+	"raal/internal/catalog"
+	"raal/internal/datagen"
+	"raal/internal/engine"
+	"raal/internal/logical"
+	"raal/internal/physical"
+	"raal/internal/sql"
+	"raal/internal/workload"
+)
+
+func corpusRelEqual(a, b *engine.Relation) bool {
+	if a.N != b.N || len(a.Ints) != len(b.Ints) || len(a.Strs) != len(b.Strs) {
+		return false
+	}
+	for name, col := range a.Ints {
+		other, ok := b.Ints[name]
+		if !ok || len(other) != len(col) {
+			return false
+		}
+		for i := range col {
+			if col[i] != other[i] {
+				return false
+			}
+		}
+	}
+	for name, col := range a.Strs {
+		other, ok := b.Strs[name]
+		if !ok || len(other) != len(col) {
+			return false
+		}
+		for i := range col {
+			if col[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestStreamingMatchesMaterializedCorpus(t *testing.T) {
+	cases := []struct {
+		name string
+		db   *catalog.Database
+		mk   func(*catalog.Database, int64) (*workload.Generator, error)
+	}{
+		{"imdb", datagen.IMDB(0.02, 3), workload.NewIMDBGenerator},
+		{"tpch", datagen.TPCH(0.05, 3), workload.NewTPCHGenerator},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			est, err := cardest.New(tc.db, 16, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planner := physical.NewPlanner(est)
+			gen, err := tc.mk(tc.db, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := engine.New(tc.db)
+			eng.MaxRows = 200_000
+			eng.BatchSize = 256 // small chunks: exercise batch boundaries
+
+			compared := 0
+			for qi := 0; qi < 40; qi++ {
+				qs := gen.GenerateOne()
+				stmt, err := sql.Parse(qs)
+				if err != nil {
+					t.Fatalf("generated invalid SQL %q: %v", qs, err)
+				}
+				bound, err := logical.NewBinder(tc.db).Bind(stmt)
+				if err != nil {
+					continue
+				}
+				plans, err := planner.Enumerate(bound)
+				if err != nil {
+					continue
+				}
+				if len(plans) > 3 {
+					plans = plans[:3]
+				}
+				for _, p := range plans {
+					eng.Mode = engine.ExecMaterialized
+					relM, errM := eng.Run(p)
+					actM := make([]float64, len(p.Nodes))
+					skewM := make([]float64, len(p.Nodes))
+					for i, n := range p.Nodes {
+						actM[i], skewM[i] = n.ActRows, n.Skew
+					}
+					eng.Mode = engine.ExecStreaming
+					relS, errS := eng.Run(p)
+
+					if (errM != nil) != (errS != nil) {
+						t.Fatalf("%q (%s): error mismatch: materialized=%v streaming=%v", qs, p.Sig, errM, errS)
+					}
+					if errM != nil {
+						if !errors.Is(errM, engine.ErrRowLimit) || !errors.Is(errS, engine.ErrRowLimit) {
+							t.Fatalf("%q (%s): non-limit errors: %v / %v", qs, p.Sig, errM, errS)
+						}
+						continue
+					}
+					if !corpusRelEqual(relM, relS) {
+						t.Fatalf("%q (%s): relations differ:\nmaterialized %v %v %v\nstreaming    %v %v %v",
+							qs, p.Sig, relM, relM.Ints, relM.Strs, relS, relS.Ints, relS.Strs)
+					}
+					for i, n := range p.Nodes {
+						if n.ActRows != actM[i] {
+							t.Fatalf("%q (%s) node %d (%s): ActRows streaming %v != materialized %v",
+								qs, p.Sig, i, n.Op, n.ActRows, actM[i])
+						}
+						if n.Skew != skewM[i] {
+							t.Fatalf("%q (%s) node %d (%s): Skew streaming %v != materialized %v",
+								qs, p.Sig, i, n.Op, n.Skew, skewM[i])
+						}
+					}
+					compared++
+				}
+			}
+			if compared < 20 {
+				t.Fatalf("only %d plans compared; corpus too thin to prove equivalence", compared)
+			}
+		})
+	}
+}

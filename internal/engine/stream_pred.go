@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+
+	"raal/internal/sql"
+)
+
+// rowPred evaluates one predicate against the physical row r of a batch.
+// Predicates receive physical indices (pre-selection) so a filter can
+// narrow an already-selected batch by composing selection vectors.
+type rowPred func(b *Batch, r int) bool
+
+// compileStreamPreds compiles the conjunction for a static layout. It is
+// the streaming twin of compilePred: column references resolve to layout
+// positions once, at iterator-construction time, instead of map lookups
+// per relation.
+func compileStreamPreds(l *layout, preds []sql.Predicate) ([]rowPred, error) {
+	fns := make([]rowPred, len(preds))
+	for i, p := range preds {
+		f, err := compileStreamPred(l, p)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	return fns, nil
+}
+
+func (l *layout) intPos(name string) (int, bool) {
+	p, ok := l.find(name)
+	return p, ok && !l.cols[p].isStr
+}
+
+func (l *layout) strPos(name string) (int, bool) {
+	p, ok := l.find(name)
+	return p, ok && l.cols[p].isStr
+}
+
+func compileStreamPred(l *layout, p sql.Predicate) (rowPred, error) {
+	switch pred := p.(type) {
+	case *sql.Comparison:
+		name := pred.Left.String()
+		if pred.RightCol != nil {
+			lp, lok := l.intPos(name)
+			rp, rok := l.intPos(pred.RightCol.String())
+			if !lok || !rok {
+				return nil, fmt.Errorf("engine: column comparison %s needs int columns", pred)
+			}
+			op := pred.Op
+			return func(b *Batch, r int) bool { return cmpInt(b.ints[lp][r], b.ints[rp][r], op) }, nil
+		}
+		if pred.Lit.IsStr {
+			cp, ok := l.strPos(name)
+			if !ok {
+				return nil, fmt.Errorf("engine: missing string column %q", name)
+			}
+			lit, op := pred.Lit.S, pred.Op
+			return func(b *Batch, r int) bool { return cmpStr(b.strs[cp][r], lit, op) }, nil
+		}
+		cp, ok := l.intPos(name)
+		if !ok {
+			return nil, fmt.Errorf("engine: missing int column %q", name)
+		}
+		lit, op := pred.Lit.I, pred.Op
+		return func(b *Batch, r int) bool { return cmpInt(b.ints[cp][r], lit, op) }, nil
+
+	case *sql.Between:
+		cp, ok := l.intPos(pred.Col.String())
+		if !ok {
+			return nil, fmt.Errorf("engine: missing int column %q", pred.Col)
+		}
+		lo, hi := pred.Lo, pred.Hi
+		return func(b *Batch, r int) bool { v := b.ints[cp][r]; return v >= lo && v <= hi }, nil
+
+	case *sql.In:
+		name := pred.Col.String()
+		if cp, ok := l.intPos(name); ok {
+			set := map[int64]bool{}
+			for _, v := range pred.Values {
+				set[v.I] = true
+			}
+			return func(b *Batch, r int) bool { return set[b.ints[cp][r]] }, nil
+		}
+		if cp, ok := l.strPos(name); ok {
+			set := map[string]bool{}
+			for _, v := range pred.Values {
+				set[v.S] = true
+			}
+			return func(b *Batch, r int) bool { return set[b.strs[cp][r]] }, nil
+		}
+		return nil, fmt.Errorf("engine: missing column %q", name)
+
+	case *sql.Like:
+		cp, ok := l.strPos(pred.Col.String())
+		if !ok {
+			return nil, fmt.Errorf("engine: missing string column %q", pred.Col)
+		}
+		match := compileLike(pred.Pattern)
+		return func(b *Batch, r int) bool { return match(b.strs[cp][r]) }, nil
+
+	case *sql.NullCheck:
+		// Generated data is NULL-free: IS NOT NULL is vacuously true.
+		not := pred.Not
+		return func(*Batch, int) bool { return not }, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported predicate %T", p)
+}

@@ -77,6 +77,7 @@ func newLabWithFixedRes(opt Options, fixed *sparksim.Resources) (*Lab, error) {
 	ccfg := workload.DefaultCollectConfig()
 	ccfg.NumQueries = opt.NumQueries
 	ccfg.Seed = opt.Seed
+	ccfg.Workers = opt.Workers
 	ccfg.FixedRes = fixed
 	ds, err := workload.Collect(db, gen, ccfg)
 	if err != nil {

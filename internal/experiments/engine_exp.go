@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"raal/internal/catalog"
+	"raal/internal/datagen"
+	"raal/internal/engine"
+	"raal/internal/logical"
+	"raal/internal/physical"
+	"raal/internal/sql"
+)
+
+// engineBenchScale sizes the IMDB catalog for the full engine benchmark:
+// at 16x the movie_companies fact table holds ~1.04M rows, so the 3-way
+// join streams past the 10^6-row mark the acceptance gate targets.
+const engineBenchScale = 16.0
+
+// The bench plan executes
+//
+//	SELECT t.kind_id, COUNT(*), SUM(mc.company_id)
+//	FROM title t, movie_companies mc, company_name cn
+//	WHERE t.id = mc.movie_id AND cn.id = mc.company_id
+//	GROUP BY t.kind_id
+//
+// with the fact table on the probe side of both hash joins — the shape a
+// cost-based optimizer picks for PK-FK joins (build the small dimension
+// sides, stream the fact side). The intermediate result is as wide as
+// movie_companies: the materialized path gathers it twice in full, while
+// the streaming path holds a few 4096-row chunks, the two dimension hash
+// tables, and seven group states.
+func engineBenchPlan(db *catalog.Database) *physical.Plan {
+	col := func(alias, table, name string) logical.BoundCol {
+		return logical.BoundCol{Alias: alias, Table: table, Name: name, Type: catalog.Int64}
+	}
+	mcMovie := col("mc", "movie_companies", "movie_id")
+	mcCompany := col("mc", "movie_companies", "company_id")
+	tID := col("t", "title", "id")
+	cnID := col("cn", "company_name", "id")
+	groupBy := []logical.BoundCol{col("t", "title", "kind_id")}
+	aggs := []logical.BoundAgg{
+		{Agg: sql.AggCount, Star: true},
+		{Agg: sql.AggSum, Col: &mcCompany},
+	}
+
+	scanMC := &physical.Node{Op: physical.FileScan, Table: "movie_companies", Alias: "mc",
+		Columns: []string{"movie_id", "company_id"}}
+	scanT := &physical.Node{Op: physical.FileScan, Table: "title", Alias: "t",
+		Columns: []string{"id", "kind_id"}}
+	scanCN := &physical.Node{Op: physical.FileScan, Table: "company_name", Alias: "cn",
+		Columns: []string{"id"}}
+	j1 := &physical.Node{Op: physical.ShuffledHashJoin, Children: []*physical.Node{scanMC, scanT},
+		LeftKey: &mcMovie, RightKey: &tID}
+	j2 := &physical.Node{Op: physical.ShuffledHashJoin, Children: []*physical.Node{j1, scanCN},
+		LeftKey: &mcCompany, RightKey: &cnID}
+	partial := &physical.Node{Op: physical.HashAggregate, Children: []*physical.Node{j2},
+		GroupBy: groupBy, Aggs: aggs}
+	ex := &physical.Node{Op: physical.ExchangeHashPartition, Children: []*physical.Node{partial},
+		GroupBy: groupBy}
+	final := &physical.Node{Op: physical.HashAggregate, Children: []*physical.Node{ex},
+		GroupBy: groupBy, Aggs: aggs, Final: true}
+
+	nodes := []*physical.Node{scanMC, scanT, j1, scanCN, j2, partial, ex, final}
+	for i, n := range nodes {
+		n.ID = i
+		if n.Op == physical.FileScan {
+			n.RawRows = float64(db.Tables[n.Table].NumRows)
+		}
+	}
+	return &physical.Plan{Root: final, Nodes: nodes,
+		Sig: "order=mc,t,cn;algos=SHJ,SHJ;probe=fact"}
+}
+
+// EngineResult reports streaming vs materialized execution on the bench
+// query: wall time, ingest throughput, peak transient heap, and
+// allocations per input row. Metrics carries the scalars cmd/benchdiff
+// gates (throughput_ratio, peak_heap_reduction, allocs_per_row).
+type EngineResult struct {
+	Benchmarks []MicroBench       `json:"benchmarks"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Print renders the mode comparison.
+func (r *EngineResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-22s %14s %16s %14s %12s\n",
+		"mode", "ns/op", "rows/sec", "peak heap MB", "allocs/row")
+	for _, b := range r.Benchmarks {
+		mode := b.Name[len("engine/"):]
+		fmt.Fprintf(w, "%-22s %14.0f %16.0f %14.1f %12.2f\n",
+			b.Name, b.NsOp,
+			r.Metrics["rows_per_sec/"+mode],
+			r.Metrics["peak_heap_mb/"+mode],
+			r.Metrics["allocs_per_row/"+mode])
+	}
+	fmt.Fprintf(w, "\nthroughput ratio (streaming/materialized): %.2fx\n",
+		r.Metrics["throughput_ratio"])
+	fmt.Fprintf(w, "peak heap reduction:                       %.0f%%\n",
+		100*r.Metrics["peak_heap_reduction"])
+}
+
+// JSON writes the machine-readable form consumed by cmd/benchdiff.
+func (r *EngineResult) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// engineModeRun is one measured execution of the bench plan.
+type engineModeRun struct {
+	ns     float64 // best-of wall time
+	peakB  uint64  // max peak heap growth across runs
+	allocs float64 // mallocs per run (first run)
+	n      int
+}
+
+// measureMode times the plan under the engine's current mode: one warmup
+// run, then repeats timed runs each under a fresh heap watch, keeping the
+// fastest time and the largest observed peak.
+func measureMode(eng *engine.Engine, p *physical.Plan, repeats int) (engineModeRun, *engine.Relation, error) {
+	rel, err := eng.Run(p) // warmup: page in columns, warm pools
+	if err != nil {
+		return engineModeRun{}, nil, err
+	}
+	var out engineModeRun
+	out.n = repeats
+	for i := 0; i < repeats; i++ {
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		hw := watchHeap()
+		t0 := time.Now()
+		r, err := eng.Run(p)
+		ns := float64(time.Since(t0).Nanoseconds())
+		peak := hw.Stop()
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return engineModeRun{}, nil, err
+		}
+		rel = r
+		if out.ns == 0 || ns < out.ns {
+			out.ns = ns
+		}
+		if peak > out.peakB {
+			out.peakB = peak
+		}
+		if i == 0 {
+			out.allocs = float64(ms1.Mallocs - ms0.Mallocs)
+		}
+	}
+	return out, rel, nil
+}
+
+// engineRelEqual spot-checks bit-identity between the two modes' outputs
+// (the exhaustive proof lives in the engine package's corpus test).
+func engineRelEqual(a, b *engine.Relation) bool {
+	if a.N != b.N || len(a.Ints) != len(b.Ints) || len(a.Strs) != len(b.Strs) {
+		return false
+	}
+	for name, col := range a.Ints {
+		other := b.Ints[name]
+		if len(other) != len(col) {
+			return false
+		}
+		for i := range col {
+			if col[i] != other[i] {
+				return false
+			}
+		}
+	}
+	for name, col := range a.Strs {
+		other := b.Strs[name]
+		if len(other) != len(col) {
+			return false
+		}
+		for i := range col {
+			if col[i] != other[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// engineBench runs the mode comparison at the given catalog scale.
+func engineBench(scale float64, seed int64, repeats int) (*EngineResult, error) {
+	db := datagen.IMDB(scale, seed)
+	p := engineBenchPlan(db)
+
+	eng := engine.New(db)
+	eng.MaxRows = 20_000_000 // the bench streams well past the default cap
+
+	eng.Mode = engine.ExecMaterialized
+	mat, matRel, err := measureMode(eng, p, repeats)
+	if err != nil {
+		return nil, err
+	}
+	eng.Mode = engine.ExecStreaming
+	str, strRel, err := measureMode(eng, p, repeats)
+	if err != nil {
+		return nil, err
+	}
+	if !engineRelEqual(matRel, strRel) {
+		return nil, fmt.Errorf("engine bench: streaming output diverged from materialized oracle")
+	}
+
+	// Ingest rows: everything the scans feed the pipeline. Identical in
+	// both modes (no LIMIT), so the throughput ratio is a pure time ratio.
+	var rows float64
+	for _, n := range p.Nodes {
+		if n.Op == physical.FileScan {
+			rows += n.ActRows
+		}
+	}
+
+	const mb = 1024 * 1024
+	res := &EngineResult{Metrics: map[string]float64{}}
+	add := func(mode string, m engineModeRun) {
+		res.Benchmarks = append(res.Benchmarks, MicroBench{
+			Name: "engine/" + mode, NsOp: m.ns, AllocsOp: m.allocs, N: m.n,
+		})
+		res.Metrics["rows_per_sec/"+mode] = rows / (m.ns / 1e9)
+		res.Metrics["peak_heap_mb/"+mode] = float64(m.peakB) / mb
+		res.Metrics["allocs_per_row/"+mode] = m.allocs / rows
+	}
+	add("materialized", mat)
+	add("streaming", str)
+	res.Metrics["input_rows"] = rows
+	res.Metrics["throughput_ratio"] = mat.ns / str.ns
+	if mat.peakB > 0 {
+		res.Metrics["peak_heap_reduction"] = 1 - float64(str.peakB)/float64(mat.peakB)
+	}
+	res.Metrics["allocs_per_row"] = str.allocs / rows
+	return res, nil
+}
+
+// EngineBench compares the streaming executor against the materialized
+// oracle on a million-row 3-way join with a grouped aggregate, verifying
+// bit-identical output along the way. It needs no lab: the corpus is the
+// synthetic IMDB catalog itself.
+func EngineBench(opt Options) (*EngineResult, error) {
+	return engineBench(engineBenchScale, opt.Seed, 3)
+}

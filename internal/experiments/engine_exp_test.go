@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestEngineBenchReport(t *testing.T) {
+	r, err := engineBench(0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks (materialized, streaming), got %d", len(r.Benchmarks))
+	}
+	for _, key := range []string{
+		"rows_per_sec/streaming", "rows_per_sec/materialized",
+		"peak_heap_mb/streaming", "peak_heap_mb/materialized",
+		"throughput_ratio", "peak_heap_reduction", "allocs_per_row", "input_rows",
+	} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Fatalf("metric %q missing", key)
+		}
+	}
+	if r.Metrics["input_rows"] <= 0 {
+		t.Fatalf("input_rows = %v", r.Metrics["input_rows"])
+	}
+	if r.Metrics["throughput_ratio"] <= 0 {
+		t.Fatalf("throughput_ratio = %v", r.Metrics["throughput_ratio"])
+	}
+	// Machine-readable form must round-trip with the benchmarks and the
+	// metrics map intact (cmd/benchdiff consumes both).
+	var buf bytes.Buffer
+	if err := r.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Benchmarks []MicroBench       `json:"benchmarks"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 2 || back.Metrics["throughput_ratio"] != r.Metrics["throughput_ratio"] {
+		t.Fatal("JSON round-trip lost data")
+	}
+	r.Print(&buf) // must not panic
+}

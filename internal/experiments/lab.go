@@ -37,7 +37,8 @@ type Options struct {
 	LR     float64
 	Seed   int64
 	// Workers / ShardSize enable data-parallel training (see
-	// core.TrainConfig). Zero keeps the serial trainer; Workers alone
+	// core.TrainConfig); Workers also bounds concurrent plan execution
+	// during collection. Zero keeps the serial trainer; Workers alone
 	// never changes results, so experiments stay reproducible.
 	Workers   int
 	ShardSize int
@@ -145,6 +146,7 @@ func NewLab(opt Options) (*Lab, error) {
 	ccfg.NumQueries = opt.NumQueries
 	ccfg.ResStatesPerPlan = opt.ResStates
 	ccfg.Seed = opt.Seed
+	ccfg.Workers = opt.Workers
 	ds, err := workload.Collect(db, gen, ccfg)
 	if err != nil {
 		return nil, err

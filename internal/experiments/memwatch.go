@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+)
+
+// heapWatch samples runtime.MemStats.HeapAlloc on a short ticker and
+// tracks the high-water mark above a post-GC baseline. It measures the
+// transient footprint of one measured region — exactly what distinguishes
+// a streaming executor (live set ≈ a few batches + per-group state) from
+// a materialized one (live set ≈ every intermediate relation at once).
+type heapWatch struct {
+	stop chan struct{}
+	done chan struct{}
+	base uint64
+	peak uint64
+}
+
+// watchHeap garbage-collects to establish a clean baseline, then starts
+// sampling. Call Stop at the end of the measured region.
+func watchHeap() *heapWatch {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w := &heapWatch{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		base: ms.HeapAlloc,
+		peak: ms.HeapAlloc,
+	}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				var s runtime.MemStats
+				runtime.ReadMemStats(&s)
+				if s.HeapAlloc > w.peak {
+					w.peak = s.HeapAlloc
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop ends sampling and returns the peak heap growth in bytes above the
+// baseline (one final sample catches a spike after the last tick).
+func (w *heapWatch) Stop() uint64 {
+	close(w.stop)
+	<-w.done
+	var s runtime.MemStats
+	runtime.ReadMemStats(&s)
+	if s.HeapAlloc > w.peak {
+		w.peak = s.HeapAlloc
+	}
+	if w.peak <= w.base {
+		return 0
+	}
+	return w.peak - w.base
+}

@@ -71,6 +71,8 @@ func Registry() []Runner {
 			Run: func(o Options) (Report, error) { return Online(o) }},
 		{Name: "quant", Description: "extra: quantized inference — f64 vs f32 vs int8 latency and q-error delta",
 			Run: func(o Options) (Report, error) { return Quant(o) }},
+		{Name: "engine", Description: "extra: streaming vs materialized execution — throughput, peak heap, allocs/row on a 10^6-row join",
+			Run: func(o Options) (Report, error) { return EngineBench(o) }},
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"raal/internal/cardest"
 	"raal/internal/catalog"
@@ -48,8 +50,12 @@ type CollectConfig struct {
 	// MaxEngineRows bounds operator outputs during truth execution;
 	// queries whose plans explode past it are skipped (0 = 2 million).
 	MaxEngineRows int
-	Seed          int64
-	Sim           sparksim.Config
+	// Workers bounds the goroutines that parse, bind, plan, and execute
+	// queries concurrently (0 = GOMAXPROCS, capped at 8; 1 = serial).
+	// The collected records are bit-identical at any worker count.
+	Workers int
+	Seed    int64
+	Sim     sparksim.Config
 }
 
 // DefaultCollectConfig returns the harness defaults (scaled down from the
@@ -79,8 +85,25 @@ func RandomResources(rng *rand.Rand) sparksim.Resources {
 	}
 }
 
+// planned is the per-query outcome of the parallel phase.
+type planned struct {
+	qs    string
+	plans []*physical.Plan
+	skip  bool
+	err   error
+}
+
 // Collect generates queries, enumerates and executes their candidate
 // plans, and prices each plan under the configured resource states.
+//
+// Collection runs in three phases so the dataset is bit-identical at any
+// worker count: (1) query generation is sequential (it owns the
+// generator's rng stream); (2) parse → bind → plan → truth-execute runs
+// under a bounded worker pool — the expensive part, and safe because the
+// streaming engine, the planner, and the cardinality estimator are all
+// concurrency-clean; (3) resource draws and simulator pricing replay
+// sequentially in query order, preserving the shared rng's consumption
+// order exactly as the old serial loop did.
 func Collect(db *catalog.Database, gen *Generator, cfg CollectConfig) (*Dataset, error) {
 	if cfg.NumQueries <= 0 {
 		return nil, fmt.Errorf("workload: NumQueries must be positive")
@@ -105,42 +128,53 @@ func Collect(db *catalog.Database, gen *Generator, cfg CollectConfig) (*Dataset,
 	sim.Seed = cfg.Seed
 	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 
-	ds := &Dataset{DB: db, Est: est}
-	for qi := 0; qi < cfg.NumQueries; qi++ {
-		qs := gen.GenerateOne()
-		stmt, err := sql.Parse(qs)
-		if err != nil {
-			return nil, fmt.Errorf("workload: generated invalid SQL %q: %w", qs, err)
+	// Phase 1: sequential query generation.
+	queries := make([]string, cfg.NumQueries)
+	for qi := range queries {
+		queries[qi] = gen.GenerateOne()
+	}
+
+	// Phase 2: parallel plan + truth execution.
+	results := make([]planned, cfg.NumQueries)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
 		}
-		bound, err := logical.NewBinder(db).Bind(stmt)
-		if err != nil {
-			ds.Skipped++
-			continue
-		}
-		plans, err := planner.Enumerate(bound)
-		if err != nil {
-			ds.Skipped++
-			continue
-		}
-		if len(plans) > cfg.PlansPerQuery {
-			plans = plans[:cfg.PlansPerQuery]
-		}
-		// Execute all plans first so an exploding query is skipped whole.
-		exploded := false
-		for _, p := range plans {
-			if _, err := eng.Run(p); err != nil {
-				if errors.Is(err, engine.ErrRowLimit) {
-					exploded = true
-					break
-				}
-				return nil, fmt.Errorf("workload: executing %q: %w", qs, err)
+	}
+	if workers > cfg.NumQueries {
+		workers = cfg.NumQueries
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range idx {
+				results[qi] = planOne(db, planner, eng, queries[qi], cfg.PlansPerQuery)
 			}
+		}()
+	}
+	for qi := range queries {
+		idx <- qi
+	}
+	close(idx)
+	wg.Wait()
+
+	// Phase 3: sequential pricing in query order (owns the shared rng).
+	ds := &Dataset{DB: db, Est: est}
+	for qi := range results {
+		r := &results[qi]
+		if r.err != nil {
+			return nil, r.err
 		}
-		if exploded {
+		if r.skip {
 			ds.Skipped++
 			continue
 		}
-		for _, p := range plans {
+		for _, p := range r.plans {
 			ds.Plans = append(ds.Plans, p)
 			states := cfg.ResStatesPerPlan
 			for s := 0; s < states; s++ {
@@ -163,6 +197,35 @@ func Collect(db *catalog.Database, gen *Generator, cfg CollectConfig) (*Dataset,
 		return nil, fmt.Errorf("workload: no records collected (%d queries skipped)", ds.Skipped)
 	}
 	return ds, nil
+}
+
+// planOne parses, binds, plans, and truth-executes one generated query.
+func planOne(db *catalog.Database, planner *physical.Planner, eng *engine.Engine, qs string, plansPer int) planned {
+	stmt, err := sql.Parse(qs)
+	if err != nil {
+		return planned{qs: qs, err: fmt.Errorf("workload: generated invalid SQL %q: %w", qs, err)}
+	}
+	bound, err := logical.NewBinder(db).Bind(stmt)
+	if err != nil {
+		return planned{qs: qs, skip: true}
+	}
+	plans, err := planner.Enumerate(bound)
+	if err != nil {
+		return planned{qs: qs, skip: true}
+	}
+	if len(plans) > plansPer {
+		plans = plans[:plansPer]
+	}
+	// Execute all plans first so an exploding query is skipped whole.
+	for _, p := range plans {
+		if _, err := eng.Run(p); err != nil {
+			if errors.Is(err, engine.ErrRowLimit) {
+				return planned{qs: qs, skip: true}
+			}
+			return planned{qs: qs, err: fmt.Errorf("workload: executing %q: %w", qs, err)}
+		}
+	}
+	return planned{qs: qs, plans: plans}
 }
 
 // FitEncoder fits a feature encoder on the dataset's plans.

@@ -144,6 +144,10 @@ type CollectOptions struct {
 	// FixedRes pins every record to one allocation (the fixed-resource
 	// RDBMS-style setting); nil means random states.
 	FixedRes *Resources
+	// Workers bounds concurrent plan/execute goroutines during
+	// collection (0 = GOMAXPROCS capped at 8; 1 = serial). The dataset
+	// is bit-identical at any worker count.
+	Workers int
 	// Seed defaults to the system seed.
 	Seed int64
 }
@@ -162,6 +166,7 @@ func (s *System) Collect(opt CollectOptions) (*Dataset, error) {
 		cfg.ResStatesPerPlan = opt.ResStatesPerPlan
 	}
 	cfg.FixedRes = opt.FixedRes
+	cfg.Workers = opt.Workers
 	cfg.Seed = s.seed
 	if opt.Seed != 0 {
 		cfg.Seed = opt.Seed
